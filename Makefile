@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench cover fuzz examples atmbench clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# Regenerates every paper table/figure plus the ablations.
+bench:
+	go test -bench=. -benchmem ./...
+
+cover:
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1
+
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/petri/
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/multirate
+	go run ./examples/pipeline
+	go run ./examples/multitask
+	go run ./examples/protocol
+	go run ./examples/atmserver
+
+atmbench:
+	go run ./cmd/atmbench
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

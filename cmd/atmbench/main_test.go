@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTableI(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cells", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"Table I reproduction (testbench of 20 ATM cells)",
+		"Number of tasks", "Lines of C code", "Clock cycles",
+		"Cycle ratio (functional/QSS):",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cells", "notanumber"}, &out); err == nil {
+		t.Fatal("flag error not propagated")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cells", "10", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{`"QSS"`, `"Functional"`, `"Tasks": 2`, `"Tasks": 5`} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("JSON missing %q:\n%s", frag, got)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFormatStdin(t *testing.T) {
+	var out strings.Builder
+	in := "trans t\nplace p 2\narc   p ->   t\n"
+	if err := run(nil, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "place p 2\ntrans t\narc p -> t\n"
+	if out.String() != want {
+		t.Fatalf("got %q want %q", out.String(), want)
+	}
+}
+
+func TestFormatInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.pn")
+	if err := os.WriteFile(path, []byte("trans t\nplace p\narc p->t\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	// "p->t" without spaces is a parse error: propagate it.
+	if err := run([]string{"-w", path}, nil, &out); err == nil {
+		t.Fatal("expected parse error for missing spaces")
+	}
+	if err := os.WriteFile(path, []byte("trans t\nplace p\narc p -> t\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-w", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "place p\ntrans t\narc p -> t\n" {
+		t.Fatalf("rewritten = %q", data)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"/no/such.pn"}, nil, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Command netinfo prints a structural and behavioural report for a Petri
+// net in the textual format: node counts, subclass, choices, invariants,
+// boundedness and (for bounded nets) deadlock/liveness, siphons and traps,
+// and — for free-choice nets — quasi-static schedulability.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fcpn"
+	"fcpn/internal/core"
+	"fcpn/internal/invariant"
+	"fcpn/internal/petri"
+	"fcpn/internal/reach"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netinfo:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable core of the command.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("netinfo", flag.ContinueOnError)
+	dot := fs.Bool("dot", false, "emit Graphviz dot instead of the report")
+	simplify := fs.Bool("simplify", false, "apply Murata's reduction rules and print the reduced net")
+	maxStates := fs.Int("max-states", 100000, "state cap for behavioural analysis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	n, err := fcpn.Parse(in)
+	if err != nil {
+		return err
+	}
+	if *simplify {
+		red, trace := petri.Simplify(n)
+		for _, step := range trace {
+			fmt.Fprintln(stdout, "#", step)
+		}
+		fmt.Fprint(stdout, petri.Format(red))
+		return nil
+	}
+	if *dot {
+		fmt.Fprint(stdout, n.DOT())
+		return nil
+	}
+	report(stdout, n, *maxStates)
+	return nil
+}
+
+func report(w io.Writer, n *petri.Net, maxStates int) {
+	fmt.Fprintf(w, "net %q: %d places, %d transitions, %d arcs\n",
+		n.Name(), n.NumPlaces(), n.NumTransitions(), len(n.Arcs()))
+	fmt.Fprintf(w, "class: %s\n", n.Classify())
+	fmt.Fprintf(w, "sources: %s\n", nameList(n, n.SourceTransitions()))
+	fmt.Fprintf(w, "sinks: %s\n", nameList(n, n.SinkTransitions()))
+
+	choices := n.FreeChoiceSets()
+	fmt.Fprintf(w, "free choices: %d\n", len(choices))
+	for _, c := range choices {
+		var places []string
+		for _, p := range c.Places {
+			places = append(places, n.PlaceName(p))
+		}
+		fmt.Fprintf(w, "  %s -> %s\n", strings.Join(places, "+"), nameList(n, c.Transitions))
+	}
+
+	tis, err := invariant.TInvariants(n, invariant.Options{})
+	if err != nil {
+		fmt.Fprintf(w, "T-invariants: %v\n", err)
+	} else {
+		fmt.Fprintf(w, "T-invariants (minimal): %d, consistent: %v\n", len(tis), invariant.Consistent(n, tis))
+		for _, ti := range tis {
+			fmt.Fprintf(w, "  %v\n", ti.Counts)
+		}
+	}
+	pis, err := invariant.PInvariants(n, invariant.Options{})
+	if err != nil {
+		fmt.Fprintf(w, "P-invariants: %v\n", err)
+	} else {
+		fmt.Fprintf(w, "P-invariants (minimal): %d, conservative: %v\n", len(pis), invariant.Conservative(n, pis))
+	}
+
+	if rep, err := invariant.RankTheoremFC(n, invariant.Options{}); err == nil {
+		fmt.Fprintf(w, "rank theorem (FC): rank(D)=%d clusters=%d well-formed=%v\n",
+			rep.Rank, rep.Clusters, rep.WellFormed)
+	}
+
+	bounded, err := reach.Boundedness(n, n.InitialMarking())
+	switch {
+	case err != nil:
+		fmt.Fprintf(w, "boundedness: %v\n", err)
+	case bounded:
+		k, _ := reach.KBound(n, n.InitialMarking())
+		fmt.Fprintf(w, "bounded: yes (k = %d)\n", k)
+		dead, derr := reach.HasDeadlock(n, n.InitialMarking(), reach.Options{MaxStates: maxStates})
+		if derr == nil {
+			fmt.Fprintf(w, "deadlock reachable: %v\n", dead)
+		}
+		live, lerr := reach.Live(n, n.InitialMarking(), reach.Options{MaxStates: maxStates})
+		if lerr == nil {
+			fmt.Fprintf(w, "live: %v\n", live)
+		}
+	default:
+		fmt.Fprintln(w, "bounded: no (under unconstrained firing; quasi-static scheduling may still bound it)")
+	}
+
+	siphons := reach.MinimalSiphons(n, 64)
+	fmt.Fprintf(w, "minimal siphons: %d, Commoner holds: %v\n",
+		len(siphons), reach.CommonerHolds(n, n.InitialMarking(), 64))
+
+	if n.IsFreeChoice() {
+		s, err := core.Solve(n, core.Options{})
+		if err != nil {
+			fmt.Fprintf(w, "quasi-static schedulable: no (%v)\n", err)
+		} else {
+			fmt.Fprintf(w, "quasi-static schedulable: yes (%d cycles from %d allocations)\n",
+				len(s.Cycles), s.AllocationCount)
+			tp, err := core.PartitionTasks(n, core.Options{})
+			if err == nil {
+				fmt.Fprintf(w, "tasks: %d\n", tp.NumTasks())
+			}
+		}
+	}
+}
+
+func nameList(n *petri.Net, ts []petri.Transition) string {
+	if len(ts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(n.SequenceNames(ts), " ")
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig3a = `
+net figure3a
+trans t1
+trans t2
+trans t3
+trans t4
+trans t5
+place p1
+place p2
+place p3
+arc t1 -> p1
+arc p1 -> t2 -> p2 -> t4
+arc p1 -> t3 -> p3 -> t5
+`
+
+const markedCycle = `
+net cycle
+place p 1
+place q
+trans t1
+trans t2
+arc p -> t1 -> q -> t2 -> p
+`
+
+func TestReportOpenNet(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(fig3a), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		`net "figure3a": 3 places, 5 transitions`,
+		"class: free-choice",
+		"sources: t1",
+		"free choices: 1",
+		"p1 -> t2 t3",
+		"T-invariants (minimal): 2, consistent: true",
+		"bounded: no",
+		"quasi-static schedulable: yes (2 cycles from 2 allocations)",
+		"tasks: 1",
+		"well-formed=false",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestReportClosedCycle(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(markedCycle), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"class: marked graph",
+		"bounded: yes (k = 1)",
+		"deadlock reachable: false",
+		"live: true",
+		"well-formed=true",
+		"minimal siphons: 1, Commoner holds: true",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dot"}, strings.NewReader(fig3a), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "digraph") {
+		t.Fatalf("not dot output:\n%s", out.String())
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("nonsense"), &out); err == nil {
+		t.Fatal("parse error not propagated")
+	}
+	if err := run([]string{"/no/such/file"}, nil, &out); err == nil {
+		t.Fatal("missing file not propagated")
+	}
+	if err := run([]string{"-badflag"}, strings.NewReader(fig3a), &out); err == nil {
+		t.Fatal("flag error not propagated")
+	}
+}
+
+func TestSimplifyFlag(t *testing.T) {
+	// A series chain: the fused net and the rewrite trace are printed.
+	chain := `
+net chain
+trans src
+trans a
+trans b
+place p1
+place p2
+place p3
+arc src -> p1 -> a -> p2 -> b -> p3
+`
+	var out strings.Builder
+	if err := run([]string{"-simplify"}, strings.NewReader(chain), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# FST: fuse a·b") {
+		t.Fatalf("missing trace:\n%s", got)
+	}
+	if !strings.Contains(got, "trans a+b") {
+		t.Fatalf("missing fused transition:\n%s", got)
+	}
+}

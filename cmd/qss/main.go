@@ -1,0 +1,150 @@
+// Command qss is the software-synthesis front end: it reads a Free-Choice
+// Petri Net in the textual format, checks quasi-static schedulability,
+// and prints the valid schedule, the task partition, or the generated C
+// implementation.
+//
+// Usage:
+//
+//	qss [-c] [-standalone] [-schedule] [-tasks] [-bounds] [file.pn]
+//
+// With no file the net is read from stdin. With no mode flags, -schedule
+// is assumed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fcpn"
+	"fcpn/internal/codegen"
+	"fcpn/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qss:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable core of the command.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qss", flag.ContinueOnError)
+	emitC := fs.Bool("c", false, "emit the synthesised C implementation")
+	emitH := fs.Bool("h", false, "emit the companion C header (task entries + hooks)")
+	standalone := fs.Bool("standalone", false, "with -c: append a main() driver")
+	showSchedule := fs.Bool("schedule", false, "print the valid schedule (default)")
+	showTasks := fs.Bool("tasks", false, "print the task partition")
+	showBounds := fs.Bool("bounds", false, "print static buffer bounds")
+	explore := fs.Bool("explore", false, "print the code/buffer tradeoff of the cycle strategies")
+	asJSON := fs.Bool("json", false, "print the valid schedule as JSON")
+	showIR := fs.Bool("ir", false, "print the generated code's intermediate tree")
+	showTree := fs.Bool("tree", false, "print the schedule as a decision tree")
+	treeDot := fs.Bool("tree-dot", false, "print the decision tree as Graphviz dot")
+	maxAlloc := fs.Int("max-allocations", 0, "cap on T-allocations (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	name := "<stdin>"
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = fs.Arg(0)
+	}
+	net, err := fcpn.Parse(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+
+	opt := fcpn.Options{MaxAllocations: *maxAlloc}
+	syn, err := fcpn.Synthesize(net, opt)
+	if err != nil {
+		return err
+	}
+
+	if !*emitC && !*emitH && !*showTasks && !*showBounds && !*explore && !*asJSON && !*showIR && !*showTree && !*treeDot {
+		*showSchedule = true
+	}
+	if *emitH {
+		fmt.Fprint(stdout, codegen.EmitH(syn.Program))
+	}
+	if *treeDot {
+		fmt.Fprint(stdout, syn.Schedule.TreeDOT())
+	}
+	if *showTree {
+		fmt.Fprint(stdout, syn.Schedule.FormatTree())
+	}
+	if *showIR {
+		fmt.Fprint(stdout, codegen.FormatIR(syn.Program))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(syn.Schedule.Export()); err != nil {
+			return err
+		}
+	}
+	if *showSchedule {
+		fmt.Fprintf(stdout, "net %q is quasi-statically schedulable: %d T-allocations, %d distinct T-reductions\n",
+			net.Name(), syn.Schedule.AllocationCount, len(syn.Schedule.Cycles))
+		for i, names := range syn.Schedule.CycleStrings() {
+			fmt.Fprintf(stdout, "  cycle %d: (%s)\n", i+1, strings.Join(names, " "))
+		}
+		if st, err := syn.Schedule.Stats(); err == nil {
+			fmt.Fprintf(stdout, "  stats: longest cycle %d firings, %d total; buffers %d tokens (max %d per place)\n",
+				st.MaxCycleLen, st.TotalFirings, st.TotalBufferBound, st.MaxBuffer)
+		}
+	}
+	if *showTasks {
+		fmt.Fprintf(stdout, "tasks: %d\n", syn.NumTasks())
+		for _, task := range syn.Partition.Tasks {
+			var srcs []string
+			for _, s := range task.Sources {
+				srcs = append(srcs, net.TransitionName(s))
+			}
+			fmt.Fprintf(stdout, "  %s (sources: %s): %s\n", task.Name,
+				strings.Join(srcs, ", "),
+				strings.Join(net.SequenceNames(task.Transitions), " "))
+		}
+		shared := syn.Partition.SharedTransitions()
+		if len(shared) > 0 {
+			fmt.Fprintf(stdout, "  shared: %s\n", strings.Join(net.SequenceNames(shared), " "))
+		}
+	}
+	if *showBounds {
+		bounds, err := syn.BufferBounds()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "static buffer bounds:")
+		for p, k := range bounds {
+			fmt.Fprintf(stdout, "  %s: %d\n", net.PlaceName(fcpn.Place(p)), k)
+		}
+	}
+	if *explore {
+		points, err := core.Explore(net, core.Options{MaxAllocations: *maxAlloc})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "schedule exploration (code batching vs. buffer memory):")
+		fmt.Fprintf(stdout, "  %-12s %16s %14s %10s\n", "strategy", "total buffers", "max buffer", "switches")
+		for _, pt := range points {
+			fmt.Fprintf(stdout, "  %-12s %16d %14d %10d\n",
+				pt.Strategy, pt.TotalBufferBound, pt.MaxBufferBound, pt.Switches)
+		}
+	}
+	if *emitC {
+		fmt.Fprint(stdout, syn.C(*standalone))
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig4 = `
+net figure4
+place p1
+place p2
+place p3
+trans t1
+trans t2
+trans t3
+trans t4
+trans t5
+arc t1 -> p1
+arc p1 -> t2 -> p2
+arc p2 -> t4 * 2
+arc p1 -> t3
+arc t3 -> p3 * 2
+arc p3 -> t5
+`
+
+func TestRunDefaultSchedule(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"quasi-statically schedulable",
+		"2 distinct T-reductions",
+		"cycle 1: (t1 t2 t1 t2 t4)",
+		"cycle 2: (t1 t3 t5 t5)",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunEmitC(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-c", "-standalone"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"void task_t1(void)", "int main(void)", "while (n_p3 >= 1)"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "schedulable:") {
+		t.Fatal("-c alone must not print the schedule report")
+	}
+}
+
+func TestRunTasksAndBounds(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tasks", "-bounds"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"tasks: 1", "task_t1 (sources: t1)", "p2: 2", "p3: 2"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunExplore(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-explore"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"round-robin", "batch", "demand", "total buffers"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("garbage in"), &out); err == nil {
+		t.Fatal("parse error not propagated")
+	}
+	// Non-schedulable net (figure 3b shape).
+	bad := `
+trans t1
+trans t2
+trans t3
+trans t4
+place p1
+place p2
+place p3
+arc t1 -> p1
+arc p1 -> t2 -> p2 -> t4
+arc p1 -> t3 -> p3 -> t4
+`
+	if err := run(nil, strings.NewReader(bad), &out); err == nil {
+		t.Fatal("non-schedulable verdict not propagated")
+	}
+	if err := run([]string{"/nonexistent/file.pn"}, nil, &out); err == nil {
+		t.Fatal("missing file not propagated")
+	}
+	if err := run([]string{"-badflag"}, strings.NewReader(fig4), &out); err == nil {
+		t.Fatal("bad flag not propagated")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{`"net": "figure4"`, `"allocations": 2`, `"p1": "t2"`} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("JSON missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunIR(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-ir"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"task task_t1 (source t1):", "choice p1:", "while p3>=1:"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("IR missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunTree(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tree"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "choice p1:") {
+		t.Fatalf("tree missing choice:\n%s", got)
+	}
+}
+
+func TestRunTreeDot(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tree-dot"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shape=diamond") {
+		t.Fatalf("missing diamond:\n%s", out.String())
+	}
+}
+
+func TestRunHeader(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"#ifndef FCPN_FIGURE4_H", "void task_t1(void);", "int read_p1(void);"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("header missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunOnShippedATM(t *testing.T) {
+	// CLI smoke test on the big shipped net.
+	var out strings.Builder
+	if err := run([]string{"-tasks", "../../examples/nets/atmserver.pn"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "tasks: 2") {
+		t.Fatalf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "shared: t_update_vg") {
+		t.Fatalf("missing shared transition:\n%s", got)
+	}
+}

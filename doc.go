@@ -1,0 +1,38 @@
+// Package fcpn synthesises embedded software from Free-Choice Petri Net
+// specifications by quasi-static scheduling, reproducing Sgroi, Lavagno,
+// Watanabe and Sangiovanni-Vincentelli, "Synthesis of Embedded Software
+// Using Free-Choice Petri Nets" (DAC 1999).
+//
+// A specification is a Free-Choice Petri Net: transitions are data
+// computations, places are (non-FIFO) channels, and a place with several
+// output transitions is a data-dependent control point (an if-then-else or
+// while-do abstracted as a non-deterministic free choice). Source
+// transitions model environment inputs; inputs whose rates are not
+// rationally related (a keyboard and a timer, say) are *independent-rate*
+// inputs.
+//
+// The pipeline:
+//
+//	net := fcpn.MustParseString(spec)        // or build with fcpn.NewBuilder
+//	syn, err := fcpn.Synthesize(net, fcpn.Options{})
+//	fmt.Println(syn.C(true))                 // the generated C program
+//
+// Synthesize checks quasi-static schedulability (decidable for FCPNs:
+// every T-reduction of the net must be consistent, cover the sources with
+// T-invariants, and complete a deadlock-free finite cycle), computes a
+// valid schedule — one finite complete cycle per distinct T-reduction —
+// partitions the net into the minimum number of tasks (one per group of
+// dependent-rate inputs), and emits one C task function per input, with
+// if-then-else for choices, counting variables for multirate firing and
+// shared drain helpers for merge places.
+//
+// A net that is not schedulable cannot run forever in bounded memory; the
+// returned *NotSchedulableError names the failing T-reduction and why.
+//
+// The underlying analyses are available individually: Solve (scheduling
+// only), PartitionTasks, Generate/EmitC (code generation), and the text
+// format Parse/Format. The internal packages additionally provide
+// T/P-invariants, Karp–Miller coverability, siphon/trap analysis, SDF
+// static scheduling, a cost-model RTOS simulator, and the paper's ATM
+// server case study.
+package fcpn

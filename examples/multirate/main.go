@@ -1,0 +1,56 @@
+// Multirate: the paper's Figure 4 net, whose weighted arcs make the two
+// choice branches fire at different rates — t4 needs two tokens (an
+// if-guarded counting variable), t5 drains two tokens per production (a
+// while loop). The output is the C listing of Section 4 of the paper.
+//
+// The example also demonstrates the interpreter: the generated code is
+// executed against a data stream and its counters are checked against the
+// net's state equation after every input event.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fcpn"
+	"fcpn/internal/figures"
+)
+
+func main() {
+	net := figures.Figure4()
+	syn, err := fcpn.Synthesize(net, fcpn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Valid schedule (paper: {(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}) ===")
+	for _, cycle := range syn.Schedule.CycleStrings() {
+		fmt.Println(" ", cycle)
+	}
+
+	fmt.Println("\n=== Generated C (paper Section 4 listing) ===")
+	fmt.Println(syn.C(true))
+
+	// Execute the generated program on an alternating decision stream and
+	// show the firing counts staying in lock-step with the net semantics.
+	fmt.Println("=== Interpreted execution, 8 input events, alternating choice ===")
+	turn := 0
+	in := fcpn.NewInterp(syn.Program, func(p fcpn.Place, alts []fcpn.Transition) int {
+		turn++
+		return turn % 2
+	})
+	t1, _ := net.TransitionByName("t1")
+	for i := 0; i < 8; i++ {
+		if err := in.RunSource(t1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := in.StateEquationCheck(); err != nil {
+		log.Fatal(err)
+	}
+	for t := 0; t < net.NumTransitions(); t++ {
+		fmt.Printf("  %s fired %d times\n",
+			net.TransitionName(fcpn.Transition(t)), in.Stats.Fired[t])
+	}
+	fmt.Println("state equation check: OK (code counters == net marking)")
+}

@@ -1,0 +1,153 @@
+package fcpn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fcpn/internal/figures"
+)
+
+const fig3aSpec = `
+net figure3a
+trans t1
+trans t2
+trans t3
+trans t4
+trans t5
+place p1
+place p2
+place p3
+arc t1 -> p1
+arc p1 -> t2 -> p2 -> t4
+arc p1 -> t3 -> p3 -> t5
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	n := MustParseString(fig3aSpec)
+	syn, err := Synthesize(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumTasks() != 1 {
+		t.Fatalf("tasks = %d", syn.NumTasks())
+	}
+	if len(syn.Schedule.Cycles) != 2 {
+		t.Fatalf("cycles = %d", len(syn.Schedule.Cycles))
+	}
+	src := syn.C(true)
+	for _, frag := range []string{"void task_t1(void)", "if (read_p1())", "int main(void)"} {
+		if !strings.Contains(src, frag) {
+			t.Fatalf("C output missing %q:\n%s", frag, src)
+		}
+	}
+	if !strings.Contains(syn.C(false), "task_t1") || strings.Contains(syn.C(false), "int main") {
+		t.Fatal("non-standalone mode wrong")
+	}
+	bounds, err := syn.BufferBounds()
+	if err != nil || len(bounds) != n.NumPlaces() {
+		t.Fatalf("BufferBounds = %v, %v", bounds, err)
+	}
+}
+
+func TestFacadeNotSchedulable(t *testing.T) {
+	_, err := Synthesize(figures.Figure3b(), Options{})
+	var nse *NotSchedulableError
+	if !errors.As(err, &nse) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeNotFreeChoice(t *testing.T) {
+	if _, err := Solve(figures.Figure1b(), Options{}); !errors.Is(err, ErrNotFreeChoice) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	n := MustParseString(fig3aSpec)
+	if !Schedulable(n, Options{}) {
+		t.Fatal("fig3a is schedulable")
+	}
+	if Format(n) == "" || DOT(n) == "" {
+		t.Fatal("formatters empty")
+	}
+	back, err := ParseString(Format(n))
+	if err != nil || back.NumTransitions() != n.NumTransitions() {
+		t.Fatalf("round trip: %v", err)
+	}
+	if _, err := Parse(strings.NewReader("bogus")); err == nil {
+		t.Fatal("Parse must propagate errors")
+	}
+	tp, err := PartitionTasks(n, Options{})
+	if err != nil || tp.NumTasks() != 1 {
+		t.Fatalf("PartitionTasks: %v %v", tp, err)
+	}
+	s, err := Solve(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Generate(s, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EmitC(prog, CConfig{}) == "" {
+		t.Fatal("EmitC empty")
+	}
+	in := NewInterp(prog, func(Place, []Transition) int { return 0 })
+	t1, _ := n.TransitionByName("t1")
+	if err := in.RunSource(t1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParseStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParseString("place place place")
+}
+
+func TestBuilderThroughFacade(t *testing.T) {
+	b := NewBuilder("mini")
+	src := b.Transition("in")
+	p := b.Place("p")
+	sink := b.Transition("out")
+	b.Chain(src, p, sink)
+	n := b.Build()
+	syn, err := Synthesize(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumTasks() != 1 {
+		t.Fatalf("tasks = %d", syn.NumTasks())
+	}
+}
+
+func TestFacadeExploreSimplify(t *testing.T) {
+	n := MustParseString(fig3aSpec)
+	pts, err := Explore(n, Options{})
+	if err != nil || len(pts) != 3 {
+		t.Fatalf("Explore = %v, %v", pts, err)
+	}
+	if pts[0].Strategy != StrategyRoundRobin {
+		t.Fatalf("first strategy = %v", pts[0].Strategy)
+	}
+	red, _ := Simplify(n)
+	if Schedulable(red, Options{}) != Schedulable(n, Options{}) {
+		t.Fatal("Simplify changed the verdict")
+	}
+	s, err := Solve(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportSchedule(n, s.Export())
+	if err != nil || len(back.Cycles) != len(s.Cycles) {
+		t.Fatalf("ImportSchedule: %v", err)
+	}
+	if s.FormatTree() == "" {
+		t.Fatal("empty tree")
+	}
+}

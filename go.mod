@@ -1,0 +1,3 @@
+module fcpn
+
+go 1.22

@@ -1,0 +1,319 @@
+package atm
+
+import (
+	"fcpn/internal/codegen"
+	"fcpn/internal/petri"
+)
+
+// CellHeader is one incoming ATM cell as seen by the server.
+type CellHeader struct {
+	// VC is the virtual-circuit identifier.
+	VC int
+	// HdrOK is the result of the header error check (HEC).
+	HdrOK bool
+	// EOM marks the last cell of an AAL5 message.
+	EOM bool
+}
+
+// VCConfig configures one provisioned virtual circuit.
+type VCConfig struct {
+	// Weight is the WFQ weight (bandwidth share); must be positive.
+	Weight int
+}
+
+// Config sizes the server.
+type Config struct {
+	// BufferCapacity is the shared cell buffer size; arrivals beyond it
+	// trigger message discard.
+	BufferCapacity int
+	// EPDThreshold, when positive, enables Early Packet Discard: a VC
+	// starting a *new* message while occupancy is at or above the
+	// threshold has the whole message discarded up front, saving the
+	// buffer from partially transmitted messages. Classic ATM practice;
+	// 0 disables it (only full-buffer discard applies).
+	EPDThreshold int
+	// MaxAge is the number of slots after which a buffered cell is stale.
+	MaxAge int
+	// VCs maps VC id to its configuration; cells on other VCs are dropped.
+	VCs map[int]VCConfig
+}
+
+// DefaultConfig provisions four VCs with 8:4:2:1 weights over a 16-cell
+// buffer.
+func DefaultConfig() Config {
+	return Config{
+		BufferCapacity: 16,
+		MaxAge:         64,
+		VCs: map[int]VCConfig{
+			1: {Weight: 8},
+			2: {Weight: 4},
+			3: {Weight: 2},
+			4: {Weight: 1},
+		},
+	}
+}
+
+// bufferedCell is one cell held in the shared buffer.
+type bufferedCell struct {
+	vc       int
+	finish   int64 // WFQ virtual finish time (fixed point, see vtScale)
+	enqueued int64 // slot number at admission, for staleness
+}
+
+// vtScale is the fixed-point scale of virtual time.
+const vtScale = 1 << 16
+
+// Server is the executable semantics of the ATM server: it owns the WFQ
+// calendar, the shared buffer, the per-VC discard state, and resolves every
+// free choice of the FCPN from that state. It plugs into the generated
+// code as a ChoiceResolver plus an OnFire hook.
+type Server struct {
+	cfg   Config
+	model *Model
+
+	// Pending input cell (set by the workload before each Cell event).
+	current CellHeader
+
+	// Buffer and WFQ state.
+	buffer      []bufferedCell
+	occupancy   int
+	virtualTime int64
+	weightSum   int64
+	perVC       map[int]*vcState
+	slot        int64
+
+	// The cell/slot currently travelling through the pipeline.
+	selected  bufferedCell
+	selectedI int
+
+	// Deterministic line/port model.
+	portState uint64
+
+	// Statistics.
+	Stats ServerStats
+}
+
+type vcState struct {
+	weight     int
+	backlog    int
+	lastFin    int64
+	discarding bool
+	// inMessage is true between a message's first cell and its EOM cell,
+	// for the Early-Packet-Discard decision.
+	inMessage bool
+}
+
+// ServerStats counts externally visible outcomes.
+type ServerStats struct {
+	CellsSeen, CellsAdmitted, CellsDropped int
+	SlotsSeen, CellsEmitted, IdleSlots     int
+	TxErrors, StaleDrops                   int
+	// PortDrops counts dequeued cells lost to output-port contention
+	// (the arbiter's busy path).
+	PortDrops int
+}
+
+// NewServer builds the behaviour for a model.
+func NewServer(model *Model, cfg Config) *Server {
+	s := &Server{cfg: cfg, model: model, perVC: map[int]*vcState{}, portState: 0x243F6A8885A308D3}
+	for vc, c := range cfg.VCs {
+		s.perVC[vc] = &vcState{weight: c.Weight}
+	}
+	return s
+}
+
+// BeginCell presents the next incoming cell; call before delivering a Cell
+// event to the task code.
+func (s *Server) BeginCell(h CellHeader) {
+	s.current = h
+	s.Stats.CellsSeen++
+}
+
+// BeginSlot advances to the next emission slot; call before a Tick event.
+func (s *Server) BeginSlot() {
+	s.slot++
+	s.Stats.SlotsSeen++
+}
+
+// Resolver returns the choice resolver backed by the server state. The
+// mapping from choice place to predicate mirrors the comments in model.go.
+func (s *Server) Resolver() codegen.ChoiceResolver {
+	n := s.model.Net
+	name := func(p petri.Place) string { return n.PlaceName(p) }
+	return func(p petri.Place, alts []petri.Transition) int {
+		pick := func(target string) int {
+			for i, t := range alts {
+				if n.TransitionName(t) == target {
+					return i
+				}
+			}
+			return -1
+		}
+		switch name(p) {
+		case "p_hdr_chk": // choice 1: HEC
+			if s.current.HdrOK {
+				return pick("t_hdr_ok")
+			}
+			return pick("t_hdr_bad")
+		case "p_vc_res": // choice 2: known VC
+			if _, ok := s.perVC[s.current.VC]; ok {
+				return pick("t_vc_ok")
+			}
+			return pick("t_vc_unknown")
+		case "p_msd_q": // choice 3: discard mode
+			if st := s.perVC[s.current.VC]; st != nil && st.discarding {
+				return pick("t_mode_discard")
+			}
+			return pick("t_mode_accept")
+		case "p_dis_q": // choice 4: end of message
+			if s.current.EOM {
+				return pick("t_eom")
+			}
+			return pick("t_mid")
+		case "p_acc_q": // choice 5: room in the buffer (plus EPD)
+			if s.occupancy >= s.cfg.BufferCapacity {
+				return pick("t_full")
+			}
+			if s.cfg.EPDThreshold > 0 && s.occupancy >= s.cfg.EPDThreshold {
+				if st := s.perVC[s.current.VC]; st != nil && !st.inMessage {
+					// Early packet discard: refuse the whole new message.
+					return pick("t_full")
+				}
+			}
+			return pick("t_room")
+		case "p_occ": // choice 6: VC already backlogged
+			if st := s.perVC[s.current.VC]; st != nil && st.backlog > 1 {
+				return pick("t_flow_act")
+			}
+			return pick("t_flow_new")
+		case "p_slot_q": // choice 7: buffer empty
+			if s.occupancy == 0 {
+				return pick("t_empty")
+			}
+			return pick("t_nonempty")
+		case "p_head_q": // choice 8: selected head stale
+			if s.slot-s.selected.enqueued > int64(s.cfg.MaxAge) {
+				return pick("t_head_stale")
+			}
+			return pick("t_head_ok")
+		case "p_flow_q": // choice 9: VC still backlogged
+			if st := s.perVC[s.selected.vc]; st != nil && st.backlog > 0 {
+				return pick("t_more")
+			}
+			return pick("t_last")
+		case "p_emit_q": // choice 10: output port free
+			if s.portFree() {
+				return pick("t_port_ok")
+			}
+			return pick("t_port_busy")
+		case "p_line_q": // choice 11: line status
+			if s.lineOK() {
+				return pick("t_tx_ok")
+			}
+			return pick("t_tx_err")
+		default:
+			return 0
+		}
+	}
+}
+
+// portFree models output-port contention deterministically: busy one slot
+// in sixteen.
+func (s *Server) portFree() bool {
+	s.portState = s.portState*6364136223846793005 + 1442695040888963407
+	return (s.portState>>33)%16 != 0
+}
+
+// lineOK models line errors: one emission in sixty-four fails.
+func (s *Server) lineOK() bool {
+	s.portState = s.portState*6364136223846793005 + 1442695040888963407
+	return (s.portState>>33)%64 != 0
+}
+
+// OnFire updates the server state as the generated code executes
+// transitions. Only the transitions with real side effects matter; the
+// rest are pure computation placeholders.
+func (s *Server) OnFire(t petri.Transition) {
+	switch s.model.Net.TransitionName(t) {
+	case "t_enqueue":
+		st := s.perVC[s.current.VC]
+		start := s.virtualTime
+		if st.lastFin > start {
+			start = st.lastFin
+		}
+		fin := start + vtScale/int64(st.weight)
+		st.lastFin = fin
+		st.backlog++
+		st.inMessage = !s.current.EOM
+		s.buffer = append(s.buffer, bufferedCell{vc: s.current.VC, finish: fin, enqueued: s.slot})
+		s.occupancy++
+		s.Stats.CellsAdmitted++
+	case "t_set_discard":
+		if st := s.perVC[s.current.VC]; st != nil {
+			st.discarding = true
+			st.inMessage = !s.current.EOM
+		}
+		s.Stats.CellsDropped++
+	case "t_reset_mode":
+		if st := s.perVC[s.current.VC]; st != nil {
+			st.discarding = false
+			st.inMessage = false
+		}
+		s.Stats.CellsDropped++ // the EOM cell itself is dropped
+	case "t_mid":
+		if st := s.perVC[s.current.VC]; st != nil {
+			st.inMessage = !s.current.EOM
+		}
+		s.Stats.CellsDropped++
+	case "t_hdr_bad", "t_vc_unknown":
+		s.Stats.CellsDropped++
+	case "t_select":
+		// Smallest virtual finish time wins (the WFQ policy).
+		best := 0
+		for i := 1; i < len(s.buffer); i++ {
+			if s.buffer[i].finish < s.buffer[best].finish {
+				best = i
+			}
+		}
+		s.selected = s.buffer[best]
+		s.selectedI = best
+	case "t_dequeue":
+		s.buffer = append(s.buffer[:s.selectedI], s.buffer[s.selectedI+1:]...)
+		s.occupancy--
+		if st := s.perVC[s.selected.vc]; st != nil {
+			st.backlog--
+		}
+	case "t_drop_stale":
+		s.buffer = append(s.buffer[:s.selectedI], s.buffer[s.selectedI+1:]...)
+		s.occupancy--
+		if st := s.perVC[s.selected.vc]; st != nil {
+			st.backlog--
+		}
+		s.Stats.StaleDrops++
+	case "t_advance_v":
+		// Virtual time advances by 1/Σweights of the backlogged VCs.
+		s.weightSum = 0
+		for _, st := range s.perVC {
+			if st.backlog > 0 {
+				s.weightSum += int64(st.weight)
+			}
+		}
+		if s.weightSum > 0 {
+			s.virtualTime += vtScale / s.weightSum
+		}
+	case "t_port_busy":
+		s.Stats.PortDrops++
+	case "t_emit":
+		s.Stats.CellsEmitted++
+	case "t_tx_err":
+		s.Stats.TxErrors++
+	case "t_idle_cell":
+		s.Stats.IdleSlots++
+	}
+}
+
+// Occupancy reports the buffered cell count (for assertions).
+func (s *Server) Occupancy() int { return s.occupancy }
+
+// VirtualTime reports the WFQ virtual time (fixed point).
+func (s *Server) VirtualTime() int64 { return s.virtualTime }

@@ -1,0 +1,295 @@
+// Package atm reconstructs the paper's case study (Section 5): an ATM
+// Server for Virtual Private Networks with a message-discard policy (MSD)
+// and a Weighted-Fair-Queueing (WFQ) bandwidth controller.
+//
+// The FCPN model follows the Figure-8 block structure — CELL input feeding
+// MSD → BUFFER → WFQ SCHEDULING, TICK input feeding COUNTER →
+// CELL EXTRACT → WFQ SCHEDULING → ARBITER — and is built to the scale the
+// paper reports: 49 transitions, 41 places, 11 free-choice places, and two
+// independent-rate inputs (Cell, an irregular interrupt, and Tick, a
+// periodic timer). Data-dependent conditions (header CRC, VC lookup,
+// discard mode, buffer occupancy, port state, line errors, …) are
+// abstracted as free choices exactly as the paper prescribes; behavior.go
+// supplies the executable semantics that resolves them at run time.
+package atm
+
+import "fcpn/internal/petri"
+
+// Model bundles the net with the handles needed by the workload, the
+// behaviour layer and the module partition.
+type Model struct {
+	Net *petri.Net
+	// Sources.
+	Cell, Tick petri.Transition
+	// Module assignment, one entry per transition (module name).
+	ModuleOf map[petri.Transition]string
+}
+
+// Module names (the five blocks of Figure 8; COUNTER is folded into
+// CELL_EXTRACT exactly as the paper's five-task baseline does).
+const (
+	ModMSD         = "MSD"
+	ModBuffer      = "BUFFER"
+	ModCellExtract = "CELL_EXTRACT"
+	ModWFQ         = "WFQ_SCHEDULING"
+	ModArbiter     = "ARBITER"
+)
+
+// StatsFlushPeriod is the multirate element of the cell path: per-cell
+// statistics are flushed to the management plane every 4 cells.
+const StatsFlushPeriod = 4
+
+// RecalibratePeriod is the multirate element of the slot path: the WFQ
+// calendar is recalibrated every 8 cell slots.
+const RecalibratePeriod = 8
+
+// New constructs the ATM server FCPN.
+func New() *Model {
+	b := petri.NewBuilder("atmserver")
+	m := &Model{ModuleOf: map[petri.Transition]string{}}
+
+	tr := func(name, module string) petri.Transition {
+		t := b.Transition(name)
+		m.ModuleOf[t] = module
+		return t
+	}
+
+	// ------------------------------------------------------------------
+	// Cell path: MSD → BUFFER → WFQ.
+	// ------------------------------------------------------------------
+	cell := tr("Cell", ModMSD)        // source: non-empty cell arrives (interrupt)
+	pCellIn := b.Place("p_cell_in")   // the cell payload
+	pCellCtx := b.Place("p_cell_ctx") // the reception context (port, time)
+	b.ArcTP(cell, pCellIn)
+	b.ArcTP(cell, pCellCtx)
+
+	rxHdr := tr("t_rx_hdr", ModMSD) // parse the 5-byte header
+	pHdrChk := b.Place("p_hdr_chk") // choice 1: HEC check
+	b.Chain(pCellIn, rxHdr, pHdrChk)
+	b.Arc(pCellCtx, rxHdr)
+
+	hdrOK := tr("t_hdr_ok", ModMSD)
+	hdrBad := tr("t_hdr_bad", ModMSD) // corrupted header: count and drop
+	pVcLkp := b.Place("p_vc_lkp")
+	pCellFin := b.Place("p_cell_fin") // merge: every cell outcome lands here
+	b.Chain(pHdrChk, hdrOK, pVcLkp)
+	b.Arc(pHdrChk, hdrBad)
+	b.ArcTP(hdrBad, pCellFin)
+
+	vcLookup := tr("t_vc_lookup", ModMSD) // VPI/VCI table lookup
+	pVcRes := b.Place("p_vc_res")         // choice 2: known VC?
+	b.Chain(pVcLkp, vcLookup, pVcRes)
+
+	vcOK := tr("t_vc_ok", ModMSD)
+	vcUnknown := tr("t_vc_unknown", ModMSD) // unknown VC: drop
+	pMsdQ := b.Place("p_msd_q")             // choice 3: discard mode?
+	b.Chain(pVcRes, vcOK, pMsdQ)
+	b.Arc(pVcRes, vcUnknown)
+	b.ArcTP(vcUnknown, pCellFin)
+
+	modeAccept := tr("t_mode_accept", ModMSD)
+	modeDiscard := tr("t_mode_discard", ModMSD)
+	pAccQ := b.Place("p_acc_q") // choice 5: room in the buffer?
+	pDisQ := b.Place("p_dis_q") // choice 4: end of message?
+	b.Chain(pMsdQ, modeAccept, pAccQ)
+	b.Chain(pMsdQ, modeDiscard, pDisQ)
+
+	eom := tr("t_eom", ModMSD) // end-of-message: leave discard mode
+	mid := tr("t_mid", ModMSD) // mid-message cell: keep discarding
+	pEomQ := b.Place("p_eom_q")
+	b.Chain(pDisQ, eom, pEomQ)
+	b.Arc(pDisQ, mid)
+	b.ArcTP(mid, pCellFin)
+	resetMode := tr("t_reset_mode", ModMSD) // clear per-VC discard state
+	b.Chain(pEomQ, resetMode)
+	b.ArcTP(resetMode, pCellFin)
+
+	room := tr("t_room", ModMSD)
+	full := tr("t_full", ModMSD) // buffer full: discard whole message (MSD)
+	pAdm := b.Place("p_adm")
+	pFullQ := b.Place("p_full_q")
+	b.Chain(pAccQ, room, pAdm)
+	b.Chain(pAccQ, full, pFullQ)
+	setDiscard := tr("t_set_discard", ModMSD) // enter discard mode
+	b.Chain(pFullQ, setDiscard)
+	b.ArcTP(setDiscard, pCellFin)
+
+	// BUFFER: admit the cell.
+	enqueue := tr("t_enqueue", ModBuffer)
+	pEnq := b.Place("p_enq")          // the stored cell
+	pEnqMeta := b.Place("p_enq_meta") // its buffer descriptor
+	b.Chain(pAdm, enqueue, pEnq)
+	b.ArcTP(enqueue, pEnqMeta)
+
+	occInc := tr("t_occ_inc", ModBuffer) // occupancy++ and thresholds
+	pOcc := b.Place("p_occ")             // choice 6: VC already backlogged?
+	b.Chain(pEnq, occInc, pOcc)
+	b.Arc(pEnqMeta, occInc)
+
+	// WFQ (cell side): timestamp the admitted cell.
+	flowNew := tr("t_flow_new", ModWFQ) // idle VC: start = max(V, finish)
+	flowAct := tr("t_flow_act", ModWFQ) // backlogged VC: append after tail
+	pFn := b.Place("p_fn")
+	pFa := b.Place("p_fa")
+	b.Chain(pOcc, flowNew, pFn)
+	b.Chain(pOcc, flowAct, pFa)
+	wfqStart := tr("t_wfq_start", ModWFQ)
+	wfqTail := tr("t_wfq_tail", ModWFQ)
+	pTs := b.Place("p_ts")          // merge of the two timestamp routes
+	pTsMeta := b.Place("p_ts_meta") // the computed finish time
+	b.Chain(pFn, wfqStart)
+	b.ArcTP(wfqStart, pTs)
+	b.ArcTP(wfqStart, pTsMeta)
+	b.Chain(pFa, wfqTail)
+	b.ArcTP(wfqTail, pTs)
+	b.ArcTP(wfqTail, pTsMeta)
+
+	timestamp := tr("t_timestamp", ModWFQ) // write finish time into calendar
+	pVtReq := b.Place("p_vt_req")          // merge: both paths poke global V
+	b.Chain(pTs, timestamp)
+	b.Arc(pTsMeta, timestamp)
+	b.ArcTP(timestamp, pCellFin)
+	b.ArcTP(timestamp, pVtReq)
+
+	// Per-cell statistics: flushed every StatsFlushPeriod cells.
+	cellStat := tr("t_cell_stat", ModMSD)
+	pCellCnt := b.Place("p_cellcnt")
+	b.Chain(pCellFin, cellStat, pCellCnt)
+	statsFlush := tr("t_stats_flush", ModMSD) // sink: management plane
+	b.WeightedArc(pCellCnt, statsFlush, StatsFlushPeriod)
+
+	// ------------------------------------------------------------------
+	// Slot path: COUNTER → CELL EXTRACT → WFQ → ARBITER.
+	// ------------------------------------------------------------------
+	tick := tr("Tick", ModCellExtract) // source: periodic cell-slot timer
+	pTickIn := b.Place("p_tick_in")    // the timer event
+	pTickCtx := b.Place("p_tick_ctx")  // the slot context (slot number)
+	b.ArcTP(tick, pTickIn)
+	b.ArcTP(tick, pTickCtx)
+
+	slot := tr("t_slot", ModCellExtract) // COUNTER: advance the slot count
+	pSlotQ := b.Place("p_slot_q")        // choice 7: buffer empty?
+	b.Chain(pTickIn, slot, pSlotQ)
+	b.Arc(pTickCtx, slot)
+
+	empty := tr("t_empty", ModCellExtract)
+	nonempty := tr("t_nonempty", ModCellExtract)
+	pIdleQ := b.Place("p_idle_q")
+	pSelQ := b.Place("p_sel_q")
+	pSlotFin := b.Place("p_slot_fin") // merge: every slot outcome lands here
+	b.Chain(pSlotQ, empty, pIdleQ)
+	b.Chain(pSlotQ, nonempty, pSelQ)
+	idleCell := tr("t_idle_cell", ModCellExtract) // emit an idle cell
+	b.Chain(pIdleQ, idleCell)
+	b.ArcTP(idleCell, pSlotFin)
+
+	sel := tr("t_select", ModCellExtract) // min finish-time search
+	pHeadQ := b.Place("p_head_q")         // choice 8: selected head valid?
+	b.Chain(pSelQ, sel, pHeadQ)
+
+	headOK := tr("t_head_ok", ModCellExtract)
+	headStale := tr("t_head_stale", ModCellExtract) // aged-out cell
+	pDeqQ := b.Place("p_deq_q")
+	b.Chain(pHeadQ, headOK, pDeqQ)
+	b.Arc(pHeadQ, headStale)
+	dropStale := tr("t_drop_stale", ModCellExtract)
+	pStaleQ := b.Place("p_stale_q")
+	b.ArcTP(headStale, pStaleQ)
+	b.Chain(pStaleQ, dropStale)
+	b.ArcTP(dropStale, pSlotFin)
+
+	dequeue := tr("t_dequeue", ModBuffer)
+	pNextQ := b.Place("p_next_q")     // the extracted cell
+	pDeqMeta := b.Place("p_deq_meta") // its released descriptor
+	b.Chain(pDeqQ, dequeue, pNextQ)
+	b.ArcTP(dequeue, pDeqMeta)
+
+	occDec := tr("t_occ_dec", ModBuffer) // occupancy--
+	pFlowQ := b.Place("p_flow_q")        // choice 9: VC still backlogged?
+	b.Chain(pNextQ, occDec, pFlowQ)
+	b.Arc(pDeqMeta, occDec)
+
+	more := tr("t_more", ModWFQ)
+	last := tr("t_last", ModWFQ)
+	pRequeueQ := b.Place("p_requeue_q")
+	pRetireQ := b.Place("p_retire_q")
+	b.Chain(pFlowQ, more, pRequeueQ)
+	b.Chain(pFlowQ, last, pRetireQ)
+	wfqRequeue := tr("t_wfq_requeue", ModWFQ) // next cell's finish time
+	wfqRetire := tr("t_wfq_retire", ModWFQ)   // VC leaves the calendar
+	pVtQ := b.Place("p_vt_q")                 // merge
+	b.Chain(pRequeueQ, wfqRequeue)
+	b.ArcTP(wfqRequeue, pVtQ)
+	b.Chain(pRetireQ, wfqRetire)
+	b.ArcTP(wfqRetire, pVtQ)
+
+	advanceV := tr("t_advance_v", ModWFQ) // advance the virtual time
+	pEmitQ := b.Place("p_emit_q")         // choice 10: output port free?
+	b.Chain(pVtQ, advanceV, pEmitQ)
+	b.ArcTP(advanceV, pVtReq)
+
+	// Shared WFQ bookkeeping: the global virtual-time update serves both
+	// the cell path and the slot path (the transition both tasks share).
+	updateVG := tr("t_update_vg", ModWFQ)
+	b.Chain(pVtReq, updateVG)
+
+	// ARBITER: emission onto the output line.
+	portOK := tr("t_port_ok", ModArbiter)
+	portBusy := tr("t_port_busy", ModArbiter) // contention: retry next slot
+	pTxQ := b.Place("p_tx_q")
+	b.Chain(pEmitQ, portOK, pTxQ)
+	b.Arc(pEmitQ, portBusy)
+	b.ArcTP(portBusy, pSlotFin)
+
+	emit := tr("t_emit", ModArbiter)
+	pLineQ := b.Place("p_line_q") // choice 11: line status after emission
+	b.Chain(pTxQ, emit, pLineQ)
+
+	txOK := tr("t_tx_ok", ModArbiter)
+	txErr := tr("t_tx_err", ModArbiter)
+	pOkQ := b.Place("p_ok_q")
+	b.Chain(pLineQ, txOK, pOkQ)
+	b.Arc(pLineQ, txErr)
+	b.ArcTP(txErr, pSlotFin)
+	countTx := tr("t_count_tx", ModArbiter)
+	b.Chain(pOkQ, countTx)
+	b.ArcTP(countTx, pSlotFin)
+
+	// Per-slot statistics: the WFQ calendar is recalibrated every
+	// RecalibratePeriod slots.
+	slotStat := tr("t_slot_stat", ModArbiter)
+	pSlotCnt := b.Place("p_slotcnt")
+	b.Chain(pSlotFin, slotStat, pSlotCnt)
+	recal := tr("t_wfq_recal", ModWFQ) // sink: calendar recalibration
+	b.WeightedArc(pSlotCnt, recal, RecalibratePeriod)
+
+	m.Net = b.Build()
+	m.Cell = cell
+	m.Tick = tick
+	return m
+}
+
+// Modules returns the five-module partition of the paper's functional
+// baseline, in Figure-8 order.
+func (m *Model) Modules() []struct {
+	Name        string
+	Transitions []petri.Transition
+} {
+	order := []string{ModMSD, ModBuffer, ModCellExtract, ModWFQ, ModArbiter}
+	byMod := map[string][]petri.Transition{}
+	for t := petri.Transition(0); int(t) < m.Net.NumTransitions(); t++ {
+		mod := m.ModuleOf[t]
+		byMod[mod] = append(byMod[mod], t)
+	}
+	var out []struct {
+		Name        string
+		Transitions []petri.Transition
+	}
+	for _, name := range order {
+		out = append(out, struct {
+			Name        string
+			Transitions []petri.Transition
+		}{name, byMod[name]})
+	}
+	return out
+}

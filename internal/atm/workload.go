@@ -1,0 +1,104 @@
+package atm
+
+import (
+	"fcpn/internal/rtos"
+)
+
+// Workload is the testbench of Section 5: a stream of ATM cells arriving
+// at irregular times interleaved with the periodic cell-slot ticks.
+type Workload struct {
+	// Events is the time-merged event sequence delivered to the RTOS.
+	Events []rtos.Event
+	// Cells holds the header of each Cell event, in arrival order.
+	Cells []CellHeader
+}
+
+// WorkloadConfig parameterises the generator.
+type WorkloadConfig struct {
+	// Cells is the number of non-empty cells (the paper used 50).
+	Cells int
+	// TickPeriod and CellMeanGap set the relative rates of the two inputs.
+	TickPeriod  int64
+	CellMeanGap int64
+	// Seed makes the stream deterministic.
+	Seed uint64
+	// BadHeaderPct, UnknownVCPct and EOMPct shape the header stream
+	// (percentages, 0–100).
+	BadHeaderPct, UnknownVCPct, EOMPct int
+	// VCs lists the virtual circuits cells arrive on.
+	VCs []int
+}
+
+// DefaultWorkload reproduces the paper's testbench scale: 50 cells, with
+// ticks running at a comparable rate so the buffer both fills and drains.
+func DefaultWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Cells:        50,
+		TickPeriod:   10,
+		CellMeanGap:  8,
+		Seed:         0xA7151915,
+		BadHeaderPct: 4,
+		UnknownVCPct: 6,
+		EOMPct:       20,
+		VCs:          []int{1, 2, 3, 4},
+	}
+}
+
+// NewWorkload generates the testbench for a model.
+func NewWorkload(m *Model, cfg WorkloadConfig) *Workload {
+	if cfg.Cells <= 0 {
+		cfg.Cells = 50
+	}
+	if cfg.TickPeriod <= 0 {
+		cfg.TickPeriod = 10
+	}
+	if cfg.CellMeanGap <= 0 {
+		cfg.CellMeanGap = 8
+	}
+	if len(cfg.VCs) == 0 {
+		cfg.VCs = []int{1}
+	}
+	cellEvents := rtos.Bursty(m.Cell, cfg.CellMeanGap, cfg.Cells, cfg.Seed)
+	// Ticks span the whole cell stream plus a drain tail so buffered
+	// cells get emitted.
+	lastCell := cellEvents[len(cellEvents)-1].Time
+	tickCount := int(lastCell/cfg.TickPeriod) + cfg.Cells + 8
+	tickEvents := rtos.Periodic(m.Tick, cfg.TickPeriod, cfg.TickPeriod/2, tickCount)
+
+	w := &Workload{Events: rtos.Merge(cellEvents, tickEvents)}
+
+	state := cfg.Seed*0x9E3779B97F4A7C15 + 0x1234
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for i := 0; i < cfg.Cells; i++ {
+		h := CellHeader{
+			VC:    cfg.VCs[next(len(cfg.VCs))],
+			HdrOK: next(100) >= cfg.BadHeaderPct,
+			EOM:   next(100) < cfg.EOMPct,
+		}
+		if next(100) < cfg.UnknownVCPct {
+			h.VC = 999 // not provisioned
+		}
+		w.Cells = append(w.Cells, h)
+	}
+	return w
+}
+
+// CellFeeder returns a BeforeEvent hook that presents the next cell header
+// to the server ahead of each Cell event and advances the slot on ticks.
+func (w *Workload) CellFeeder(m *Model, s *Server) func(rtos.Event) {
+	i := 0
+	return func(ev rtos.Event) {
+		switch ev.Source {
+		case m.Cell:
+			if i < len(w.Cells) {
+				s.BeginCell(w.Cells[i])
+				i++
+			}
+		case m.Tick:
+			s.BeginSlot()
+		}
+	}
+}

@@ -1,0 +1,495 @@
+// Package bdf models Boolean Dataflow (Buck [5], the paper's related
+// work): dataflow graphs extended with SWITCH and SELECT actors routed by
+// boolean control tokens. Scheduling BDF with bounded memory is
+// undecidable, so the bounded-schedulability check here is *three-valued*:
+// it proves schedulability within a buffer bound when it can, and
+// otherwise answers Unknown — it can never prove unschedulability. The
+// paper's FCPN approach abstracts the boolean values into free choices
+// (Abstract), for which quasi-static schedulability is decidable; the
+// tests contrast the two on the same graphs.
+package bdf
+
+import (
+	"errors"
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// Kind classifies an actor.
+type Kind int
+
+const (
+	// KindCompute is a plain (S)DF actor with fixed rates.
+	KindCompute Kind = iota
+	// KindSwitch routes its data input to its true or false output
+	// according to a boolean control token.
+	KindSwitch
+	// KindSelect forwards a token from its true or false input according
+	// to a boolean control token.
+	KindSelect
+)
+
+// Role tags a channel endpoint at a switch/select.
+type Role int
+
+const (
+	// RoleData is an ordinary rate-annotated endpoint.
+	RoleData Role = iota
+	// RoleControl carries boolean control tokens.
+	RoleControl
+	// RoleTrue is the true-side branch of a switch output / select input.
+	RoleTrue
+	// RoleFalse is the false-side branch.
+	RoleFalse
+)
+
+// Actor is one node.
+type Actor struct {
+	Name string
+	Kind Kind
+}
+
+// Channel is a FIFO between actors. Produce/Consume apply to RoleData
+// endpoints of compute actors; switch/select endpoints always move one
+// token per firing.
+type Channel struct {
+	From, To         int
+	FromRole, ToRole Role
+	Produce, Consume int
+	Delay            int
+}
+
+// Graph is a BDF graph.
+type Graph struct {
+	Actors   []Actor
+	Channels []Channel
+}
+
+// NewGraph creates an empty BDF graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddCompute adds a plain dataflow actor.
+func (g *Graph) AddCompute(name string) int {
+	g.Actors = append(g.Actors, Actor{Name: name, Kind: KindCompute})
+	return len(g.Actors) - 1
+}
+
+// AddSwitch adds a SWITCH actor.
+func (g *Graph) AddSwitch(name string) int {
+	g.Actors = append(g.Actors, Actor{Name: name, Kind: KindSwitch})
+	return len(g.Actors) - 1
+}
+
+// AddSelect adds a SELECT actor.
+func (g *Graph) AddSelect(name string) int {
+	g.Actors = append(g.Actors, Actor{Name: name, Kind: KindSelect})
+	return len(g.Actors) - 1
+}
+
+// Connect adds a data channel with rates (compute endpoints).
+func (g *Graph) Connect(from, to, produce, consume, delay int) error {
+	return g.connect(Channel{From: from, To: to, FromRole: RoleData, ToRole: RoleData,
+		Produce: produce, Consume: consume, Delay: delay})
+}
+
+// ConnectRole adds a channel with explicit endpoint roles; rates default
+// to one token per firing on switch/select endpoints.
+func (g *Graph) ConnectRole(from int, fromRole Role, to int, toRole Role, delay int) error {
+	return g.connect(Channel{From: from, To: to, FromRole: fromRole, ToRole: toRole,
+		Produce: 1, Consume: 1, Delay: delay})
+}
+
+func (g *Graph) connect(c Channel) error {
+	if c.From < 0 || c.From >= len(g.Actors) || c.To < 0 || c.To >= len(g.Actors) {
+		return fmt.Errorf("bdf: actor index out of range")
+	}
+	if c.Produce < 1 || c.Consume < 1 || c.Delay < 0 {
+		return fmt.Errorf("bdf: invalid rates")
+	}
+	g.Channels = append(g.Channels, c)
+	return nil
+}
+
+// Verdict is the outcome of the bounded-schedulability game.
+type Verdict int
+
+const (
+	// Schedulable: a scheduling policy keeps every buffer within the
+	// found bound for every boolean control stream.
+	Schedulable Verdict = iota
+	// Unknown: no bound up to the cap could be certified. Because
+	// bounded-memory scheduling of BDF is undecidable, this is NOT a
+	// proof of unschedulability.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	if v == Schedulable {
+		return "schedulable"
+	}
+	return "unknown"
+}
+
+// validate checks the switch/select port shapes.
+func (g *Graph) validate() error {
+	for ai, a := range g.Actors {
+		var ctrlIn, dataIn, trueIn, falseIn, trueOut, falseOut, dataOut int
+		for _, c := range g.Channels {
+			if c.To == ai {
+				switch c.ToRole {
+				case RoleControl:
+					ctrlIn++
+				case RoleTrue:
+					trueIn++
+				case RoleFalse:
+					falseIn++
+				default:
+					dataIn++
+				}
+			}
+			if c.From == ai {
+				switch c.FromRole {
+				case RoleTrue:
+					trueOut++
+				case RoleFalse:
+					falseOut++
+				default:
+					dataOut++
+				}
+			}
+		}
+		switch a.Kind {
+		case KindSwitch:
+			if dataIn != 1 || ctrlIn != 1 || trueOut != 1 || falseOut != 1 {
+				return fmt.Errorf("bdf: switch %q needs 1 data-in, 1 control-in, 1 true-out, 1 false-out", a.Name)
+			}
+		case KindSelect:
+			if trueIn != 1 || falseIn != 1 || ctrlIn != 1 || dataOut != 1 {
+				return fmt.Errorf("bdf: select %q needs 1 true-in, 1 false-in, 1 control-in, 1 data-out", a.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// state is a buffer configuration; index parallel to Channels.
+type state []int
+
+func (s state) key() string {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// CheckBoundedSchedulable plays the bounded-memory scheduling game for
+// increasing buffer bounds 1…maxBound: the scheduler picks which enabled
+// actor fires, the adversary picks boolean control values. The graph is
+// certified schedulable with bound B when, from the initial buffer state,
+// the scheduler can keep playing forever without any channel exceeding B.
+// Failing every bound up to maxBound yields Unknown (undecidability: no
+// finite search proves unschedulability).
+func (g *Graph) CheckBoundedSchedulable(maxBound, maxStates int) (Verdict, int, error) {
+	if err := g.validate(); err != nil {
+		return Unknown, 0, err
+	}
+	if maxBound < 1 {
+		maxBound = 4
+	}
+	if maxStates < 1 {
+		maxStates = 200000
+	}
+	for bound := 1; bound <= maxBound; bound++ {
+		ok, err := g.winsWithBound(bound, maxStates)
+		if err != nil {
+			return Unknown, 0, err
+		}
+		if ok {
+			return Schedulable, bound, nil
+		}
+	}
+	return Unknown, 0, nil
+}
+
+// winsWithBound solves the safety game for a fixed bound by a greatest
+// fixpoint over the explicitly enumerated reachable-within-bound states.
+func (g *Graph) winsWithBound(bound, maxStates int) (bool, error) {
+	initial := make(state, len(g.Channels))
+	for i, c := range g.Channels {
+		if c.Delay > bound {
+			return false, nil
+		}
+		initial[i] = c.Delay
+	}
+
+	// Explore all states reachable through ANY action/outcome, pruning
+	// overflowing successors (they are losing and never entered by a
+	// winning strategy, but the fixpoint below re-derives that properly:
+	// an action with an overflowing outcome is simply unavailable).
+	index := map[string]int{initial.key(): 0}
+	states := []state{append(state(nil), initial...)}
+	// actions[s] lists, per available action, the successor state ids.
+	var actions [][][]int
+	for head := 0; head < len(states); head++ {
+		if len(states) > maxStates {
+			return false, errors.New("bdf: state space exceeds cap")
+		}
+		var acts [][]int
+		for ai := range g.Actors {
+			outcomes, enabled := g.fire(states[head], ai, bound)
+			if !enabled {
+				continue
+			}
+			if outcomes == nil {
+				// Enabled but some outcome overflows: action unavailable
+				// for a winning scheduler.
+				continue
+			}
+			var ids []int
+			for _, out := range outcomes {
+				k := out.key()
+				id, seen := index[k]
+				if !seen {
+					id = len(states)
+					index[k] = id
+					states = append(states, out)
+				}
+				ids = append(ids, id)
+			}
+			acts = append(acts, ids)
+		}
+		actions = append(actions, acts)
+		// states may have grown; actions for new states computed as the
+		// loop reaches them.
+	}
+
+	// Greatest fixpoint: W := all states; repeatedly remove states with
+	// no action whose outcomes all remain in W.
+	in := make([]bool, len(states))
+	for i := range in {
+		in[i] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := range states {
+			if !in[s] {
+				continue
+			}
+			good := false
+			for _, outcomes := range actions[s] {
+				all := true
+				for _, id := range outcomes {
+					if !in[id] {
+						all = false
+						break
+					}
+				}
+				if all {
+					good = true
+					break
+				}
+			}
+			if !good {
+				in[s] = false
+				changed = true
+			}
+		}
+	}
+	return in[0], nil
+}
+
+// fire computes the successor states of firing actor ai in s under bound.
+// enabled=false when the actor cannot fire; outcomes=nil (with
+// enabled=true) when some adversary outcome would overflow the bound.
+func (g *Graph) fire(s state, ai, bound int) (outcomes []state, enabled bool) {
+	a := g.Actors[ai]
+	var inIdx, outIdx []int
+	for ci, c := range g.Channels {
+		if c.To == ai {
+			inIdx = append(inIdx, ci)
+		}
+		if c.From == ai {
+			outIdx = append(outIdx, ci)
+		}
+	}
+	switch a.Kind {
+	case KindCompute:
+		for _, ci := range inIdx {
+			if s[ci] < g.Channels[ci].Consume {
+				return nil, false
+			}
+		}
+		next := append(state(nil), s...)
+		for _, ci := range inIdx {
+			next[ci] -= g.Channels[ci].Consume
+		}
+		for _, ci := range outIdx {
+			next[ci] += g.Channels[ci].Produce
+			if next[ci] > bound {
+				return nil, true
+			}
+		}
+		return []state{next}, true
+
+	case KindSwitch:
+		var dataC, ctrlC, trueC, falseC = -1, -1, -1, -1
+		for _, ci := range inIdx {
+			if g.Channels[ci].ToRole == RoleControl {
+				ctrlC = ci
+			} else {
+				dataC = ci
+			}
+		}
+		for _, ci := range outIdx {
+			if g.Channels[ci].FromRole == RoleTrue {
+				trueC = ci
+			} else {
+				falseC = ci
+			}
+		}
+		if s[dataC] < 1 || s[ctrlC] < 1 {
+			return nil, false
+		}
+		base := append(state(nil), s...)
+		base[dataC]--
+		base[ctrlC]--
+		for _, out := range []int{trueC, falseC} {
+			next := append(state(nil), base...)
+			next[out]++
+			if next[out] > bound {
+				return nil, true // adversary can force overflow
+			}
+			outcomes = append(outcomes, next)
+		}
+		return outcomes, true
+
+	case KindSelect:
+		var ctrlC, trueC, falseC, outC = -1, -1, -1, -1
+		for _, ci := range inIdx {
+			switch g.Channels[ci].ToRole {
+			case RoleControl:
+				ctrlC = ci
+			case RoleTrue:
+				trueC = ci
+			default:
+				falseC = ci
+			}
+		}
+		outC = outIdx[0]
+		if s[ctrlC] < 1 {
+			return nil, false
+		}
+		// The adversary owns the control value: the select can only fire
+		// safely when the chosen side has a token whichever way the value
+		// falls, so a winning scheduler fires it with both sides
+		// non-empty; with one side empty the adversary could block it,
+		// so the action consumes from the non-empty side only when the
+		// *control stream correlation* guarantees it — which this
+		// abstraction cannot see. We expose both behaviours: if both
+		// sides have tokens, adversary picks the side; if exactly one
+		// side has tokens, that side is consumed (optimistic in-order
+		// matching, Buck's special case).
+		sides := []int{}
+		if s[trueC] >= 1 {
+			sides = append(sides, trueC)
+		}
+		if s[falseC] >= 1 {
+			sides = append(sides, falseC)
+		}
+		if len(sides) == 0 {
+			return nil, false
+		}
+		for _, side := range sides {
+			next := append(state(nil), s...)
+			next[ctrlC]--
+			next[side]--
+			next[outC]++
+			if next[outC] > bound {
+				return nil, true
+			}
+			outcomes = append(outcomes, next)
+		}
+		return outcomes, true
+	}
+	return nil, false
+}
+
+// Abstract lowers the BDF graph to the paper's FCPN abstraction: boolean
+// control values become non-deterministic free choices. Channels become
+// places; compute actors become transitions; a switch becomes a choice
+// place with two consumer transitions (one per branch); a select becomes
+// two transitions merging into the output place. Control channels vanish
+// (their information is exactly what the abstraction forgets).
+func (g *Graph) Abstract(name string) (*petri.Net, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder(name)
+	places := make([]petri.Place, len(g.Channels))
+	isCtrl := make([]bool, len(g.Channels))
+	for ci, c := range g.Channels {
+		if c.ToRole == RoleControl {
+			isCtrl[ci] = true
+			continue
+		}
+		places[ci] = b.MarkedPlace(fmt.Sprintf("ch%d", ci), c.Delay)
+	}
+	for ai, a := range g.Actors {
+		switch a.Kind {
+		case KindCompute:
+			t := b.Transition(a.Name)
+			for ci, c := range g.Channels {
+				if isCtrl[ci] {
+					continue
+				}
+				if c.To == ai {
+					b.WeightedArc(places[ci], t, c.Consume)
+				}
+				if c.From == ai {
+					b.WeightedArcTP(t, places[ci], c.Produce)
+				}
+			}
+		case KindSwitch:
+			var dataC, trueC, falseC int
+			for ci, c := range g.Channels {
+				if c.To == ai && !isCtrl[ci] {
+					dataC = ci
+				}
+				if c.From == ai && c.FromRole == RoleTrue {
+					trueC = ci
+				}
+				if c.From == ai && c.FromRole == RoleFalse {
+					falseC = ci
+				}
+			}
+			tt := b.Transition(a.Name + "_true")
+			tf := b.Transition(a.Name + "_false")
+			b.Arc(places[dataC], tt)
+			b.Arc(places[dataC], tf)
+			b.ArcTP(tt, places[trueC])
+			b.ArcTP(tf, places[falseC])
+		case KindSelect:
+			var trueC, falseC, outC int
+			for ci, c := range g.Channels {
+				if c.To == ai && c.ToRole == RoleTrue {
+					trueC = ci
+				}
+				if c.To == ai && c.ToRole == RoleFalse {
+					falseC = ci
+				}
+				if c.From == ai {
+					outC = ci
+				}
+			}
+			tt := b.Transition(a.Name + "_true")
+			tf := b.Transition(a.Name + "_false")
+			b.Arc(places[trueC], tt)
+			b.Arc(places[falseC], tf)
+			b.ArcTP(tt, places[outC])
+			b.ArcTP(tf, places[outC])
+		}
+	}
+	return b.Build(), nil
+}

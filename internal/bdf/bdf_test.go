@@ -1,0 +1,228 @@
+package bdf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fcpn/internal/core"
+)
+
+// buildIfThenElse builds the classic BDF if-then-else, closed by a credit
+// loop so an infinite play must cycle through the whole graph:
+//
+//	src -> d -> SWITCH -> A -> f -> A' -> SELECT -> out -> sinkact -> credit -> src
+//	                   -> B -> g -> B' ->
+//	src also emits the control tokens for switch and select.
+func buildIfThenElse(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	src := g.AddCompute("src")
+	sw := g.AddSwitch("sw")
+	f := g.AddCompute("f")
+	gg := g.AddCompute("g")
+	sel := g.AddSelect("sel")
+	out := g.AddCompute("out")
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Connect(out, src, 1, 1, 1)) // credit loop, one initial token
+	must(g.Connect(src, sw, 1, 1, 0))  // data into switch
+	must(g.ConnectRole(src, RoleData, sw, RoleControl, 0))
+	must(g.ConnectRole(src, RoleData, sel, RoleControl, 0))
+	must(g.ConnectRole(sw, RoleTrue, f, RoleData, 0))
+	must(g.ConnectRole(sw, RoleFalse, gg, RoleData, 0))
+	must(g.ConnectRole(f, RoleData, sel, RoleTrue, 0))
+	must(g.ConnectRole(gg, RoleData, sel, RoleFalse, 0))
+	must(g.Connect(sel, out, 1, 1, 0))
+	return g
+}
+
+// buildAdversarialJoin routes tokens to one of two branches that a join
+// needs BOTH of: an adversary that always picks one side starves the
+// other, so no buffer bound can be certified (the Figure 3b situation in
+// BDF clothing).
+func buildAdversarialJoin(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	src := g.AddCompute("src")
+	sw := g.AddSwitch("sw")
+	join := g.AddCompute("join")
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// src self-credits so it can always fire (environment).
+	must(g.Connect(src, src, 1, 1, 1))
+	must(g.Connect(src, sw, 1, 1, 0))
+	must(g.ConnectRole(src, RoleData, sw, RoleControl, 0))
+	must(g.ConnectRole(sw, RoleTrue, join, RoleData, 0))
+	must(g.ConnectRole(sw, RoleFalse, join, RoleData, 0))
+	return g
+}
+
+func TestIfThenElseSchedulable(t *testing.T) {
+	g := buildIfThenElse(t)
+	verdict, bound, err := g.CheckBoundedSchedulable(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != Schedulable {
+		t.Fatalf("verdict = %v, want schedulable", verdict)
+	}
+	if bound != 1 {
+		t.Fatalf("bound = %d, want 1", bound)
+	}
+}
+
+func TestAdversarialJoinUnknown(t *testing.T) {
+	g := buildAdversarialJoin(t)
+	verdict, _, err := g.CheckBoundedSchedulable(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown (Buck-style search cannot prove unschedulability)", verdict)
+	}
+}
+
+// TestAbstractionDecides is the paper's core claim about BDF: the FCPN
+// abstraction makes the question decidable. The same graph that the
+// bounded BDF search can only call "unknown" is *definitively* diagnosed
+// as not schedulable by QSS on its free-choice abstraction; the
+// if-then-else is definitively schedulable.
+func TestAbstractionDecides(t *testing.T) {
+	// If-then-else: abstraction schedulable.
+	n, err := buildIfThenElse(t).Abstract("ite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsFreeChoice() {
+		t.Fatal("abstraction must be free-choice")
+	}
+	s, err := core.Solve(n, core.Options{})
+	if err != nil {
+		t.Fatalf("abstracted if-then-else must be schedulable: %v", err)
+	}
+	if len(s.Cycles) != 2 {
+		t.Fatalf("cycles = %d", len(s.Cycles))
+	}
+
+	// Adversarial join: abstraction definitively not schedulable.
+	n2, err := buildAdversarialJoin(t).Abstract("join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Solve(n2, core.Options{})
+	var nse *core.NotSchedulableError
+	if !errors.As(err, &nse) {
+		t.Fatalf("err = %v, want definitive NotSchedulableError", err)
+	}
+	if nse.Report.Consistent {
+		t.Fatal("the starved-branch reduction must be inconsistent")
+	}
+}
+
+func TestAbstractKeepsRatesAndDelays(t *testing.T) {
+	g := buildIfThenElse(t)
+	n, err := g.Abstract("ite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The credit-loop delay token must survive as initial marking.
+	if n.InitialMarking().Total() != 1 {
+		t.Fatalf("marking = %v", n.InitialMarking())
+	}
+	// Control channels vanish: 9 channels, 2 control ⇒ 7 places.
+	if n.NumPlaces() != 7 {
+		t.Fatalf("places = %d, want 7", n.NumPlaces())
+	}
+	// src, out, f, g, 2 switch halves, 2 select halves = 8 transitions.
+	if n.NumTransitions() != 8 {
+		t.Fatalf("transitions = %d, want 8", n.NumTransitions())
+	}
+}
+
+func TestValidateShapes(t *testing.T) {
+	g := NewGraph()
+	sw := g.AddSwitch("sw")
+	_ = sw
+	if _, _, err := g.CheckBoundedSchedulable(2, 0); err == nil {
+		t.Fatal("malformed switch accepted")
+	}
+	g2 := NewGraph()
+	sel := g2.AddSelect("sel")
+	_ = sel
+	if _, err := g2.Abstract("x"); err == nil {
+		t.Fatal("malformed select accepted")
+	}
+	g3 := NewGraph()
+	a := g3.AddCompute("a")
+	if err := g3.Connect(a, 99, 1, 1, 0); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if err := g3.Connect(a, a, 0, 1, 0); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Schedulable.String() != "schedulable" || Unknown.String() != "unknown" {
+		t.Fatal("verdict strings wrong")
+	}
+}
+
+func TestDelayExceedingBound(t *testing.T) {
+	// A delay larger than every tested bound can never be certified.
+	g := NewGraph()
+	a := g.AddCompute("a")
+	if err := g.Connect(a, a, 1, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	verdict, _, err := g.CheckBoundedSchedulable(3, 0)
+	if err != nil || verdict != Unknown {
+		t.Fatalf("verdict = %v, %v", verdict, err)
+	}
+}
+
+func TestAbstractNamesReadable(t *testing.T) {
+	n, err := buildIfThenElse(t).Abstract("ite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Join(n.SequenceNames(n.Transitions()), " ")
+	for _, frag := range []string{"sw_true", "sw_false", "sel_true", "sel_false"} {
+		if !strings.Contains(names, frag) {
+			t.Fatalf("missing %q in %s", frag, names)
+		}
+	}
+}
+
+// TestAbstractionSynthesises runs the full QSS pipeline on the abstracted
+// if-then-else: codegen equivalence on the closed net (no sources — an
+// autonomous task driven by the credit token).
+func TestAbstractionSynthesises(t *testing.T) {
+	n, err := buildIfThenElse(t).Abstract("ite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.Solve(n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := core.PartitionTasks(n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 1 {
+		t.Fatalf("tasks = %d (closed net: one autonomous task)", tp.NumTasks())
+	}
+	for _, c := range sched.Cycles {
+		if err := core.VerifyCompleteCycle(n, c.Sequence); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

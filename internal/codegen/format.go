@@ -1,0 +1,82 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"fcpn/internal/petri"
+)
+
+// FormatIR renders the program's intermediate tree in a compact
+// pseudo-assembly form, one statement per line — the debugging view of
+// what Generate produced before the C backend prettifies it.
+//
+//	task task_t1 (source t1):
+//	  fire t1
+//	  choice p1:
+//	  | alt t2:
+//	  |   fire t2
+//	  |   inc p2 +1
+//	  |   if p2>=2:
+//	  |     fire t4
+//	  |     dec p2 -2
+//	  ...
+func FormatIR(prog *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s: %d task(s), %d shared helper(s)\n",
+		prog.Net.Name(), len(prog.Tasks), len(prog.Helpers))
+	for _, h := range prog.Helpers {
+		fmt.Fprintf(&b, "helper %s:\n", h.Name)
+		writeIR(&b, prog.Net, h.Body, 1)
+	}
+	for _, tc := range prog.Tasks {
+		if len(tc.Bodies) == 0 {
+			fmt.Fprintf(&b, "task %s (autonomous):\n", tc.Task.Name)
+			writeIR(&b, prog.Net, tc.Residual, 1)
+			continue
+		}
+		for _, body := range tc.Bodies {
+			fmt.Fprintf(&b, "task %s (source %s):\n", tc.Task.Name,
+				prog.Net.TransitionName(body.Source))
+			writeIR(&b, prog.Net, body.Body, 1)
+			if len(tc.Residual) > 0 {
+				fmt.Fprintf(&b, "  residual:\n")
+				writeIR(&b, prog.Net, tc.Residual, 2)
+			}
+		}
+	}
+	return b.String()
+}
+
+func writeIR(b *strings.Builder, n *petri.Net, nodes []Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, node := range nodes {
+		switch x := node.(type) {
+		case FireNode:
+			fmt.Fprintf(b, "%sfire %s\n", ind, n.TransitionName(x.T))
+		case IncNode:
+			fmt.Fprintf(b, "%sinc %s +%d\n", ind, n.PlaceName(x.P), x.By)
+		case DecNode:
+			fmt.Fprintf(b, "%sdec %s -%d\n", ind, n.PlaceName(x.P), x.By)
+		case CallNode:
+			fmt.Fprintf(b, "%scall %s\n", ind, x.Name)
+		case GuardNode:
+			kw := "if"
+			if x.Loop {
+				kw = "while"
+			}
+			var conds []string
+			for _, c := range x.Conds {
+				conds = append(conds, fmt.Sprintf("%s>=%d", n.PlaceName(c.P), c.W))
+			}
+			fmt.Fprintf(b, "%s%s %s:\n", ind, kw, strings.Join(conds, " && "))
+			writeIR(b, n, x.Body, depth+1)
+		case ChoiceNode:
+			fmt.Fprintf(b, "%schoice %s:\n", ind, n.PlaceName(x.P))
+			for _, br := range x.Branches {
+				fmt.Fprintf(b, "%s| alt %s:\n", ind, n.TransitionName(br.T))
+				writeIR(b, n, br.Body, depth+1)
+			}
+		}
+	}
+}

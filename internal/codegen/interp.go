@@ -1,0 +1,302 @@
+package codegen
+
+import (
+	"errors"
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// ChoiceResolver supplies the run-time value of a control token: it
+// returns the index (into alternatives) of the transition the data selects.
+// In the real system this is the generated `read_p()` predicate.
+type ChoiceResolver func(p petri.Place, alternatives []petri.Transition) int
+
+// ExecStats accumulates observable behaviour of an interpreted program.
+type ExecStats struct {
+	// Fired[t] counts firings of transition t.
+	Fired []int
+	// Ops counts interpreter steps (fires + counter updates + guard
+	// evaluations): a machine-independent execution-cost proxy.
+	Ops int
+	// MaxCounter is the largest value any place counter reached.
+	MaxCounter int
+}
+
+// ErrRunaway is returned when a guard loop exceeds the iteration cap: the
+// generated code would not terminate (which a correct QSS program never
+// does).
+var ErrRunaway = errors.New("codegen: guard loop exceeded iteration cap")
+
+// Interp executes generated task code against counter state.
+type Interp struct {
+	Prog     *Program
+	Counters []int
+	Stats    ExecStats
+	Resolve  ChoiceResolver
+	// OnFire, when set, observes every transition execution (used by
+	// behavioural models to update their state).
+	OnFire func(t petri.Transition)
+	// MaxLoop caps iterations of a single while guard (default 1 << 20).
+	MaxLoop int
+
+	// Step tracing (see StartTrace / TraceTail).
+	tracing    bool
+	trace      []TraceEntry
+	traceStart int
+}
+
+// NewInterp prepares an interpreter with counters initialised from the
+// net's initial marking.
+func NewInterp(prog *Program, resolve ChoiceResolver) *Interp {
+	in := &Interp{
+		Prog:     prog,
+		Counters: prog.Net.InitialMarking(),
+		Resolve:  resolve,
+		MaxLoop:  1 << 20,
+	}
+	in.Stats.Fired = make([]int, prog.Net.NumTransitions())
+	return in
+}
+
+// RunSource executes the task body activated by one occurrence of the
+// given source event, including the task's residual drains.
+func (in *Interp) RunSource(src petri.Transition) error {
+	ti := in.Prog.TaskBySource(src)
+	if ti < 0 {
+		return fmt.Errorf("codegen: no task handles source %s", in.Prog.Net.TransitionName(src))
+	}
+	tc := in.Prog.Tasks[ti]
+	for _, body := range tc.Bodies {
+		if body.Source != src {
+			continue
+		}
+		if err := in.exec(body.Body); err != nil {
+			return err
+		}
+		return in.exec(tc.Residual)
+	}
+	return fmt.Errorf("codegen: task %s has no body for %s", tc.Task.Name, in.Prog.Net.TransitionName(src))
+}
+
+// RunTask executes a task's residual blocks (used for autonomous tasks and
+// for modular tasks activated by pending queue contents). It reports
+// whether any transition fired.
+func (in *Interp) RunTask(taskIdx int) (bool, error) {
+	if taskIdx < 0 || taskIdx >= len(in.Prog.Tasks) {
+		return false, fmt.Errorf("codegen: task index %d out of range", taskIdx)
+	}
+	before := in.totalFired()
+	if err := in.exec(in.Prog.Tasks[taskIdx].Residual); err != nil {
+		return false, err
+	}
+	return in.totalFired() > before, nil
+}
+
+func (in *Interp) totalFired() int {
+	sum := 0
+	for _, c := range in.Stats.Fired {
+		sum += c
+	}
+	return sum
+}
+
+func (in *Interp) exec(nodes []Node) error {
+	for _, node := range nodes {
+		switch x := node.(type) {
+		case FireNode:
+			in.Stats.Fired[x.T]++
+			in.Stats.Ops++
+			in.record(TraceEntry{Op: "fire", Transition: x.T})
+			if in.OnFire != nil {
+				in.OnFire(x.T)
+			}
+		case IncNode:
+			in.Counters[x.P] += x.By
+			if in.Counters[x.P] > in.Stats.MaxCounter {
+				in.Stats.MaxCounter = in.Counters[x.P]
+			}
+			in.Stats.Ops++
+			in.record(TraceEntry{Op: "inc", Place: x.P, By: x.By})
+		case DecNode:
+			in.Counters[x.P] -= x.By
+			in.record(TraceEntry{Op: "dec", Place: x.P, By: x.By})
+			if in.Counters[x.P] < 0 {
+				return fmt.Errorf("codegen: counter of place %s went negative",
+					in.Prog.Net.PlaceName(x.P))
+			}
+			in.Stats.Ops++
+		case GuardNode:
+			if !x.Loop {
+				in.Stats.Ops++
+				if in.holds(x.Conds) {
+					if err := in.exec(x.Body); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			maxLoop := in.MaxLoop
+			if maxLoop <= 0 {
+				maxLoop = 1 << 20
+			}
+			for iter := 0; ; iter++ {
+				in.Stats.Ops++
+				if !in.holds(x.Conds) {
+					break
+				}
+				if iter >= maxLoop {
+					return fmt.Errorf("%w (place guard %v)", ErrRunaway, x.Conds)
+				}
+				if err := in.exec(x.Body); err != nil {
+					return err
+				}
+				if in.staticallyNoOp(x.Body) {
+					// An empty body can never release the guard.
+					break
+				}
+			}
+		case CallNode:
+			in.Stats.Ops++
+			if x.Helper == nil {
+				return fmt.Errorf("codegen: call to unresolved helper %s", x.Name)
+			}
+			if err := in.exec(x.Helper.Body); err != nil {
+				return err
+			}
+		case ChoiceNode:
+			alternatives := make([]petri.Transition, len(x.Branches))
+			for i, br := range x.Branches {
+				alternatives[i] = br.T
+			}
+			in.Stats.Ops++
+			pick := in.Resolve(x.P, alternatives)
+			if pick < 0 || pick >= len(x.Branches) {
+				// Resolution selects a transition outside this node's
+				// branches (modular single-branch test): skip.
+				continue
+			}
+			if err := in.exec(x.Branches[pick].Body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// staticallyNoOp reports whether the body contains no counter updates or
+// fires on any path; such a loop body can never release its guard.
+func (in *Interp) staticallyNoOp(body []Node) bool {
+	for _, node := range body {
+		switch x := node.(type) {
+		case FireNode, IncNode, DecNode:
+			return false
+		case GuardNode:
+			if !in.staticallyNoOp(x.Body) {
+				return false
+			}
+		case CallNode:
+			if x.Helper != nil && !in.staticallyNoOp(x.Helper.Body) {
+				return false
+			}
+		case ChoiceNode:
+			for _, br := range x.Branches {
+				if !in.staticallyNoOp(br.Body) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (in *Interp) holds(conds []Cond) bool {
+	for _, c := range conds {
+		if in.Counters[c.P] < c.W {
+			return false
+		}
+	}
+	return true
+}
+
+// StateEquationCheck verifies the fundamental equivalence between the
+// generated code and the net: for every place, the tracked counter (or 0
+// for transient places) must equal μ0(p) + Σ_t Fired[t]·D[t][p]. A mismatch
+// means the code fired transitions in an order the net does not allow.
+func (in *Interp) StateEquationCheck() error {
+	n := in.Prog.Net
+	init := n.InitialMarking()
+	expect := n.ApplyFiringVector(init, in.Stats.Fired)
+	for p := 0; p < n.NumPlaces(); p++ {
+		got := in.Counters[p]
+		if expect[p] < 0 {
+			return fmt.Errorf("codegen: state equation negative at place %s: %d",
+				n.PlaceName(petri.Place(p)), expect[p])
+		}
+		if in.Prog.HasCounter[p] {
+			if got != expect[p] {
+				return fmt.Errorf("codegen: counter of %s is %d, state equation says %d",
+					n.PlaceName(petri.Place(p)), got, expect[p])
+			}
+		} else if expect[p] != init[p] {
+			// A transient (uncounted) place is fully drained within each
+			// pass, so between passes it must hold exactly its initial
+			// tokens (the generated code never touches those).
+			return fmt.Errorf("codegen: transient place %s holds %d tokens between passes, want %d",
+				n.PlaceName(petri.Place(p)), expect[p], init[p])
+		}
+	}
+	return nil
+}
+
+// TraceEntry is one recorded interpreter step (fires and counter updates).
+type TraceEntry struct {
+	// Op is "fire", "inc" or "dec".
+	Op string
+	// Transition is set for fire entries, Place and By for inc/dec.
+	Transition petri.Transition
+	Place      petri.Place
+	By         int
+}
+
+// String renders the entry against the program's net.
+func (e TraceEntry) String(n *petri.Net) string {
+	switch e.Op {
+	case "fire":
+		return "fire " + n.TransitionName(e.Transition)
+	case "inc":
+		return fmt.Sprintf("inc %s +%d", n.PlaceName(e.Place), e.By)
+	default:
+		return fmt.Sprintf("dec %s -%d", n.PlaceName(e.Place), e.By)
+	}
+}
+
+// traceCap bounds the retained trace (a ring of the most recent steps).
+const traceCap = 256
+
+// StartTrace enables step recording; the most recent traceCap steps are
+// retained. Useful when diagnosing a state-equation failure.
+func (in *Interp) StartTrace() {
+	in.tracing = true
+	in.trace = in.trace[:0]
+}
+
+// TraceTail returns the recorded steps, oldest first.
+func (in *Interp) TraceTail() []TraceEntry {
+	out := make([]TraceEntry, 0, len(in.trace))
+	out = append(out, in.trace[in.traceStart:]...)
+	out = append(out, in.trace[:in.traceStart]...)
+	return out
+}
+
+func (in *Interp) record(e TraceEntry) {
+	if !in.tracing {
+		return
+	}
+	if len(in.trace) < traceCap {
+		in.trace = append(in.trace, e)
+		return
+	}
+	in.trace[in.traceStart] = e
+	in.traceStart = (in.traceStart + 1) % traceCap
+}

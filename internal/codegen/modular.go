@@ -1,0 +1,126 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"fcpn/internal/core"
+	"fcpn/internal/petri"
+)
+
+// Module is one functional block of a specification, for the paper's
+// comparison baseline ("functional task partitioning": one task per module,
+// Table I right column).
+type Module struct {
+	Name        string
+	Transitions []petri.Transition
+}
+
+// GenerateModular produces the baseline implementation: one task per
+// module, each compiled in the fully counter-based style (every place a
+// queue counter, every transition guarded by a while over its inputs).
+// Inter-module places become communication queues drained by the consuming
+// module's task, so each event typically cascades through several task
+// activations — the run-time overhead the paper's QSS avoids.
+//
+// Free-choice clusters must lie entirely within one module: the choice is
+// resolved where the control token is consumed.
+func GenerateModular(n *petri.Net, modules []Module) (*Program, error) {
+	owner := make([]int, n.NumTransitions())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for mi, m := range modules {
+		for _, t := range m.Transitions {
+			if int(t) < 0 || int(t) >= n.NumTransitions() {
+				return nil, fmt.Errorf("codegen: module %s: transition %d out of range", m.Name, t)
+			}
+			if owner[t] != -1 {
+				return nil, fmt.Errorf("codegen: transition %s assigned to two modules",
+					n.TransitionName(t))
+			}
+			owner[t] = mi
+		}
+	}
+	for t, mi := range owner {
+		if mi == -1 {
+			return nil, fmt.Errorf("codegen: transition %s not assigned to any module",
+				n.TransitionName(petri.Transition(t)))
+		}
+	}
+
+	prog := &Program{
+		Net:        n,
+		HasCounter: make([]bool, n.NumPlaces()),
+	}
+	partition := &core.TaskPartition{Net: n}
+	clusters := n.ConflictClusters()
+	for mi, m := range modules {
+		ts := append([]petri.Transition(nil), m.Transitions...)
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		task := core.Task{Name: "task_" + m.Name, Transitions: ts}
+		for _, t := range ts {
+			if isSource(n, t) {
+				task.Sources = append(task.Sources, t)
+			}
+		}
+		tc := &TaskCode{Task: task}
+		for _, src := range task.Sources {
+			body := []Node{FireNode{src}}
+			for _, out := range n.Post(src) {
+				prog.HasCounter[out.Place] = true
+				body = append(body, IncNode{out.Place, out.Weight})
+			}
+			tc.Bodies = append(tc.Bodies, SourceBody{Source: src, Body: body})
+		}
+		// Non-source transitions drain by conflict cluster.
+		for _, c := range clusters {
+			if owner[c.Transitions[0]] != mi {
+				continue
+			}
+			for _, t := range c.Transitions {
+				if owner[t] != mi {
+					return nil, fmt.Errorf("codegen: free-choice cluster of %s spans modules",
+						n.TransitionName(t))
+				}
+			}
+			block, err := prog.clusterBlock(c)
+			if err != nil {
+				return nil, err
+			}
+			tc.Residual = append(tc.Residual, block)
+		}
+		partition.Tasks = append(partition.Tasks, task)
+		prog.Tasks = append(prog.Tasks, tc)
+	}
+	prog.Partition = partition
+	return prog, nil
+}
+
+// clusterBlock compiles one conflict cluster to a counter-based drain loop.
+func (prog *Program) clusterBlock(c petri.ConflictCluster) (Node, error) {
+	n := prog.Net
+	if len(c.Transitions) == 1 {
+		return prog.residualBlock(c.Transitions[0]), nil
+	}
+	// Free choice: all alternatives share the single choice place.
+	if len(c.Places) != 1 {
+		return nil, fmt.Errorf("codegen: choice cluster with %d places is not free-choice", len(c.Places))
+	}
+	p := c.Places[0]
+	prog.HasCounter[p] = true
+	choice := ChoiceNode{P: p}
+	for _, t := range c.Transitions {
+		body := []Node{FireNode{t}}
+		for _, out := range n.Post(t) {
+			prog.HasCounter[out.Place] = true
+			body = append(body, IncNode{out.Place, out.Weight})
+		}
+		choice.Branches = append(choice.Branches, Branch{T: t, Body: body})
+	}
+	return GuardNode{
+		Conds: []Cond{{p, 1}},
+		Loop:  true,
+		Body:  []Node{DecNode{p, 1}, choice},
+	}, nil
+}

@@ -1,0 +1,130 @@
+package codegen
+
+import (
+	"testing"
+
+	"fcpn/internal/core"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+)
+
+// TestRandomNetsCodegenEquivalence is the strongest property in the
+// repository: for 80 randomly generated schedulable FCPNs, synthesise the
+// task code, drive it with pseudo-random source events and choice
+// outcomes, and after every event check the state equation — the code's
+// counters must equal μ0 + fᵀ·D for the fired vector f, with every
+// transient place empty. Any divergence between the generated control
+// structure (ifs, whiles, counters, helpers) and the net semantics fails
+// here.
+func TestRandomNetsCodegenEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 80; seed++ {
+		n := netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig())
+		s, err := core.Solve(n, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tp, err := core.PartitionTasks(n, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := Generate(s, tp)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v\n%s", seed, err, petri.Format(n))
+		}
+		if src := EmitC(prog, CConfig{}); LineCount(src) == 0 {
+			t.Fatalf("seed %d: empty C", seed)
+		}
+		in := NewInterp(prog, lcgResolver(seed*7+1))
+		sources := n.SourceTransitions()
+		state := seed
+		for e := 0; e < 30; e++ {
+			state = state*2862933555777941757 + 3037000493
+			src := sources[int((state>>33)%uint64(len(sources)))]
+			if err := in.RunSource(src); err != nil {
+				t.Fatalf("seed %d event %d: %v\n%s", seed, e, err, petri.Format(n))
+			}
+			if err := in.StateEquationCheck(); err != nil {
+				t.Fatalf("seed %d event %d: %v\n%s\n%s", seed, e, err,
+					petri.Format(n), EmitC(prog, CConfig{}))
+			}
+		}
+		// Bounded memory: counters stay below a small structural bound
+		// (max arc weight × 2) for these balanced pipelines.
+		maxW := 1
+		for _, tr := range n.Transitions() {
+			for _, a := range n.Pre(tr) {
+				if a.Weight > maxW {
+					maxW = a.Weight
+				}
+			}
+			for _, a := range n.Post(tr) {
+				if a.Weight > maxW {
+					maxW = a.Weight
+				}
+			}
+		}
+		if in.Stats.MaxCounter > 2*maxW {
+			t.Fatalf("seed %d: counter reached %d (max weight %d): unbounded accumulation in generated code",
+				seed, in.Stats.MaxCounter, maxW)
+		}
+	}
+}
+
+// TestRandomNetsModularEquivalence runs the functional-baseline generator
+// over random nets: transitions are partitioned into two modules along
+// cluster boundaries, the program is driven with the RTOS-style drain
+// loop, and the state equation must hold after quiescence — the modular
+// path's analogue of TestRandomNetsCodegenEquivalence.
+func TestRandomNetsModularEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		n := netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig())
+		clusters := n.ConflictClusters()
+		if len(clusters) < 2 {
+			continue
+		}
+		// Split clusters in two halves: a legal module partition.
+		var modA, modB []petri.Transition
+		for i, c := range clusters {
+			if i%2 == 0 {
+				modA = append(modA, c.Transitions...)
+			} else {
+				modB = append(modB, c.Transitions...)
+			}
+		}
+		// Sources have no cluster; give them to module A.
+		for _, src := range n.SourceTransitions() {
+			modA = append(modA, src)
+		}
+		prog, err := GenerateModular(n, []Module{
+			{Name: "A", Transitions: modA},
+			{Name: "B", Transitions: modB},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := NewInterp(prog, lcgResolver(seed+99))
+		sources := n.SourceTransitions()
+		for e := 0; e < 20; e++ {
+			src := sources[e%len(sources)]
+			if err := in.RunSource(src); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for {
+				progress := false
+				for ti := range prog.Tasks {
+					fired, err := in.RunTask(ti)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					progress = progress || fired
+				}
+				if !progress {
+					break
+				}
+			}
+			if err := in.StateEquationCheck(); err != nil {
+				t.Fatalf("seed %d event %d: %v\n%s", seed, e, err, petri.Format(n))
+			}
+		}
+	}
+}

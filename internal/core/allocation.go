@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fcpn/internal/petri"
+)
+
+// Allocation is a T-allocation (Definition 3.3): a function choosing
+// exactly one successor transition for every place. Non-choice places have
+// a unique successor, so an allocation is determined by its decisions at
+// the free-choice clusters.
+type Allocation struct {
+	// Clusters are the free-choice clusters of the net, in the canonical
+	// order of petri.FreeChoiceSets.
+	Clusters []petri.ConflictCluster
+	// Chosen[i] is the transition selected from Clusters[i].
+	Chosen []petri.Transition
+}
+
+// Allocated reports whether transition t is allocated: every transition is
+// allocated except the non-chosen members of the choice clusters.
+func (a *Allocation) Allocated(t petri.Transition) bool {
+	for i, c := range a.Clusters {
+		for _, u := range c.Transitions {
+			if u == t {
+				return a.Chosen[i] == t
+			}
+		}
+	}
+	return true
+}
+
+// String renders the allocation as "p1→t2, p5→t9".
+func (a *Allocation) describe(n *petri.Net) string {
+	parts := make([]string, len(a.Clusters))
+	for i, c := range a.Clusters {
+		names := make([]string, len(c.Places))
+		for j, p := range c.Places {
+			names[j] = n.PlaceName(p)
+		}
+		parts[i] = fmt.Sprintf("%s→%s", strings.Join(names, "+"), n.TransitionName(a.Chosen[i]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// EnumerateAllocations produces every T-allocation of the net, i.e. the
+// cartesian product of the free-choice clusters' alternatives. The result
+// is deterministic: clusters in canonical order, alternatives in transition
+// index order, first allocation = all-first-alternatives. It fails with
+// ErrTooManyAllocations when the product exceeds max.
+func EnumerateAllocations(n *petri.Net, max int) ([]*Allocation, error) {
+	if max <= 0 {
+		max = Options{}.maxAllocations()
+	}
+	clusters := n.FreeChoiceSets()
+	total := 1
+	for _, c := range clusters {
+		if total > max/len(c.Transitions)+1 {
+			total = max + 1
+			break
+		}
+		total *= len(c.Transitions)
+	}
+	if total > max {
+		return nil, fmt.Errorf("%w: %d free-choice clusters yield more than %d allocations",
+			ErrTooManyAllocations, len(clusters), max)
+	}
+	out := make([]*Allocation, 0, total)
+	choice := make([]int, len(clusters))
+	for {
+		chosen := make([]petri.Transition, len(clusters))
+		for i, c := range clusters {
+			chosen[i] = c.Transitions[choice[i]]
+		}
+		out = append(out, &Allocation{Clusters: clusters, Chosen: chosen})
+		// Odometer increment.
+		i := len(clusters) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(clusters[i].Transitions) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// CountAllocations returns the number of T-allocations without enumerating
+// them (product of cluster sizes), saturating at maxInt.
+func CountAllocations(n *petri.Net) int {
+	total := 1
+	for _, c := range n.FreeChoiceSets() {
+		if total > (1<<62)/len(c.Transitions) {
+			return 1 << 62
+		}
+		total *= len(c.Transitions)
+	}
+	return total
+}
+
+// EnumerateDistinctReductions produces every *distinct* T-reduction of the
+// net without enumerating the full allocation product. It branches lazily:
+// starting from the all-first-alternatives allocation, it only splits on
+// choice clusters whose choice place actually survives in the current
+// reduction — clusters cut away by an upstream decision contribute no new
+// reductions, which is why the ATM model's 2¹¹ allocations collapse to a
+// few dozen reduce calls. The search is output-sensitive:
+// O(distinct reductions × branching) Reduce invocations.
+//
+// maxReductions caps the result (≤ 0 means Options' allocation default).
+func EnumerateDistinctReductions(n *petri.Net, maxReductions int) ([]*Reduction, error) {
+	if maxReductions <= 0 {
+		maxReductions = Options{}.maxAllocations()
+	}
+	clusters := n.FreeChoiceSets()
+	var out []*Reduction
+	seen := map[string]bool{}
+
+	// assignment[i] = chosen alternative index for cluster i, -1 if the
+	// cluster has not been forced by the search yet (defaults to 0).
+	var explore func(assignment []int) error
+	explore = func(assignment []int) error {
+		chosen := make([]petri.Transition, len(clusters))
+		for i, c := range clusters {
+			alt := assignment[i]
+			if alt < 0 {
+				alt = 0
+			}
+			chosen[i] = c.Transitions[alt]
+		}
+		red := Reduce(n, &Allocation{Clusters: clusters, Chosen: chosen})
+		// Find the first unforced cluster whose choice place survives:
+		// its resolution genuinely matters, so branch on it.
+		for i, c := range clusters {
+			if assignment[i] >= 0 {
+				continue
+			}
+			kept := false
+			for _, p := range c.Places {
+				if _, ok := red.Sub.FromParentPlace(p); ok {
+					kept = true
+					break
+				}
+			}
+			if !kept {
+				continue
+			}
+			for alt := range c.Transitions {
+				next := append([]int(nil), assignment...)
+				next[i] = alt
+				if err := explore(next); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Fully determined: record if new.
+		key := red.Sub.TransitionSetKey()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, red)
+			if len(out) > maxReductions {
+				return fmt.Errorf("%w: more than %d distinct T-reductions", ErrTooManyAllocations, maxReductions)
+			}
+		}
+		return nil
+	}
+	initial := make([]int, len(clusters))
+	for i := range initial {
+		initial[i] = -1
+	}
+	if err := explore(initial); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/netgen"
+)
+
+func BenchmarkReduce(b *testing.B) {
+	n := figures.Figure5()
+	allocs, err := EnumerateAllocations(n, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, a := range allocs {
+			Reduce(n, a)
+		}
+	}
+}
+
+func BenchmarkEnumerateDistinctReductions(b *testing.B) {
+	n := netgen.RandomSchedulablePipeline(1234, netgen.Config{
+		MaxSources: 2, MaxDepth: 6, MaxBranch: 2, MaxWeight: 2,
+		ChoicePct: 60, MultiratePct: 20,
+	})
+	for i := 0; i < b.N; i++ {
+		if _, err := EnumerateDistinctReductions(n, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckReduction(b *testing.B) {
+	n := figures.Figure5()
+	reds, err := EnumerateDistinctReductions(n, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reds {
+			rep := CheckReduction(n, r, Options{})
+			if !rep.Schedulable {
+				b.Fatal(rep.FailReason)
+			}
+		}
+	}
+}
+
+func BenchmarkPartitionTasks(b *testing.B) {
+	n := figures.Figure5()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionTasks(n, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package core implements the paper's primary contribution: quasi-static
+// scheduling (QSS) of Free-Choice Petri Nets (Sgroi, Lavagno, Watanabe,
+// Sangiovanni-Vincentelli, DAC 1999).
+//
+// The pipeline follows Section 3 of the paper:
+//
+//  1. Enumerate the T-allocations of the net — one chosen successor per
+//     free-choice place (allocation.go).
+//  2. For each allocation, compute the T-reduction with the modified Hack
+//     reduction algorithm; the result is a conflict-free subnet
+//     (reduction.go). Reductions that coincide on their transition sets are
+//     deduplicated.
+//  3. Check that every T-reduction is statically schedulable
+//     (Definition 3.5): consistent, covering every surviving source
+//     transition with a T-invariant, and able to complete a deadlock-free
+//     finite cycle returning to the initial marking (schedulability.go,
+//     cycle.go).
+//  4. If every reduction is schedulable, assemble the valid schedule: one
+//     finite complete cycle per distinct T-reduction (Theorem 3.1).
+//  5. Partition the transitions into tasks, one per group of
+//     dependent-rate source transitions (tasks.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// Options tunes the solver. The zero value uses sensible defaults.
+type Options struct {
+	// MaxAllocations caps the number of enumerated T-allocations
+	// (default 65536). The count is exponential in the number of
+	// free-choice places; nets beyond the cap return ErrTooManyAllocations.
+	MaxAllocations int
+	// MaxRows caps the Farkas semiflow enumeration (default from
+	// internal/invariant).
+	MaxRows int
+	// MaxCycleLength caps finite-complete-cycle simulation (default 1 << 20
+	// firings) as a safety net.
+	MaxCycleLength int
+	// KeepDuplicateReductions disables T-reduction deduplication, keeping
+	// one cycle per allocation even when reductions coincide. Used by the
+	// ablation benchmarks.
+	KeepDuplicateReductions bool
+}
+
+func (o Options) maxAllocations() int {
+	if o.MaxAllocations <= 0 {
+		return 65536
+	}
+	return o.MaxAllocations
+}
+
+func (o Options) maxCycleLength() int {
+	if o.MaxCycleLength <= 0 {
+		return 1 << 20
+	}
+	return o.MaxCycleLength
+}
+
+// ErrTooManyAllocations is returned when the choice structure exceeds
+// Options.MaxAllocations.
+var ErrTooManyAllocations = errors.New("core: too many T-allocations")
+
+// ErrNotFreeChoice wraps structural validation failures.
+var ErrNotFreeChoice = petri.ErrNotFreeChoice
+
+// NotSchedulableError reports why a net has no valid schedule: the first
+// failing T-reduction and its diagnosis.
+type NotSchedulableError struct {
+	// Report is the failing reduction's schedulability report.
+	Report *ReductionReport
+}
+
+func (e *NotSchedulableError) Error() string {
+	return fmt.Sprintf("core: net is not quasi-statically schedulable: %s", e.Report.FailReason)
+}
+
+// Cycle is one finite complete cycle of the valid schedule: a firing
+// sequence over the original net that starts and ends at the initial
+// marking and contains every transition of its T-reduction at least once.
+type Cycle struct {
+	// Sequence is the firing order, in original-net transition indices.
+	Sequence []petri.Transition
+	// Counts is the firing-count vector f(σ) over the original net.
+	Counts []int
+	// Reduction is the T-reduction this cycle statically schedules.
+	Reduction *Reduction
+}
+
+// Schedule is a valid schedule (Definition 3.1/3.2): a complete set of
+// finite complete cycles, one per distinct T-reduction, guaranteeing
+// bounded-memory infinite execution for every resolution of the choices.
+type Schedule struct {
+	Net    *petri.Net
+	Cycles []Cycle
+	// Reports holds one schedulability report per distinct T-reduction, in
+	// the same order as Cycles.
+	Reports []*ReductionReport
+	// AllocationCount is the number of T-allocations enumerated before
+	// deduplication.
+	AllocationCount int
+}
+
+// Solve checks quasi-static schedulability of (net, initial marking) and
+// returns the valid schedule. A *NotSchedulableError is returned when some
+// T-reduction is not statically schedulable (Theorem 3.1: this is exactly
+// when no valid schedule exists).
+func Solve(n *petri.Net, opt Options) (*Schedule, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	sched := &Schedule{Net: n, AllocationCount: CountAllocations(n)}
+	var reductions []*Reduction
+	if opt.KeepDuplicateReductions {
+		// Ablation path: one reduction per allocation, duplicates kept.
+		allocs, err := EnumerateAllocations(n, opt.maxAllocations())
+		if err != nil {
+			return nil, err
+		}
+		for _, alloc := range allocs {
+			reductions = append(reductions, Reduce(n, alloc))
+		}
+	} else {
+		// Output-sensitive search: only distinct T-reductions are built,
+		// without touching the exponential allocation product.
+		var err error
+		reductions, err = EnumerateDistinctReductions(n, opt.maxAllocations())
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, red := range reductions {
+		report := CheckReduction(n, red, opt)
+		if !report.Schedulable {
+			return nil, &NotSchedulableError{Report: report}
+		}
+		sched.Cycles = append(sched.Cycles, Cycle{
+			Sequence:  report.Cycle,
+			Counts:    n.FiringCount(report.Cycle),
+			Reduction: red,
+		})
+		sched.Reports = append(sched.Reports, report)
+	}
+	return sched, nil
+}
+
+// Schedulable is a convenience wrapper: it reports whether the net has a
+// valid schedule, swallowing the diagnostic.
+func Schedulable(n *petri.Net, opt Options) bool {
+	_, err := Solve(n, opt)
+	return err == nil
+}
+
+// BufferBounds replays every cycle of the schedule and reports, per place,
+// the maximum number of tokens observed: the statically allocatable buffer
+// sizes for a single-cycle execution. (Interleavings of different cycles
+// cannot exceed the sum of per-cycle bounds on shared places; for the
+// common case of choice-private places the per-cycle maximum is exact.)
+func (s *Schedule) BufferBounds() ([]int, error) {
+	bounds := make([]int, s.Net.NumPlaces())
+	init := s.Net.InitialMarking()
+	for i := range bounds {
+		bounds[i] = init[i]
+	}
+	for _, c := range s.Cycles {
+		m := s.Net.InitialMarking()
+		for _, t := range c.Sequence {
+			if err := s.Net.Fire(m, t); err != nil {
+				return nil, fmt.Errorf("core: replaying cycle: %w", err)
+			}
+			for p, k := range m {
+				if k > bounds[p] {
+					bounds[p] = k
+				}
+			}
+		}
+		if !m.Equal(init) {
+			return nil, fmt.Errorf("core: cycle does not return to the initial marking: %v", m)
+		}
+	}
+	return bounds, nil
+}
+
+// CycleStrings renders every cycle as transition names for reports and
+// golden tests.
+func (s *Schedule) CycleStrings() [][]string {
+	out := make([][]string, len(s.Cycles))
+	for i, c := range s.Cycles {
+		out[i] = s.Net.SequenceNames(c.Sequence)
+	}
+	return out
+}
+
+// ScheduleStats summarises a valid schedule for reports.
+type ScheduleStats struct {
+	// Cycles is the number of finite complete cycles (distinct
+	// T-reductions).
+	Cycles int
+	// MaxCycleLen and TotalFirings describe the firing sequences.
+	MaxCycleLen, TotalFirings int
+	// TotalBufferBound is the sum of per-place buffer bounds; MaxBuffer
+	// the largest single place bound.
+	TotalBufferBound, MaxBuffer int
+}
+
+// Stats computes the schedule's summary metrics.
+func (s *Schedule) Stats() (ScheduleStats, error) {
+	st := ScheduleStats{Cycles: len(s.Cycles)}
+	for _, c := range s.Cycles {
+		if len(c.Sequence) > st.MaxCycleLen {
+			st.MaxCycleLen = len(c.Sequence)
+		}
+		st.TotalFirings += len(c.Sequence)
+	}
+	bounds, err := s.BufferBounds()
+	if err != nil {
+		return st, err
+	}
+	for _, b := range bounds {
+		st.TotalBufferBound += b
+		if b > st.MaxBuffer {
+			st.MaxBuffer = b
+		}
+	}
+	return st, nil
+}

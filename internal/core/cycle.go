@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// ErrCycleDeadlock is returned when the firing-count vector cannot be
+// realised from the initial marking: the reduction deadlocks (the
+// executability failure of the paper's footnote 2).
+var ErrCycleDeadlock = errors.New("core: deadlock while realising T-invariant")
+
+// FindCompleteCycle searches a firing sequence of the (conflict-free) net
+// that fires each transition t exactly counts[t] times starting and ending
+// at the initial marking: a finite complete cycle (Section 2).
+//
+// Conflict-free nets are persistent — no two transitions share an input
+// place, so firing an enabled transition never disables another. Greedy
+// simulation is therefore complete: if any realising sequence exists, the
+// greedy one succeeds, and getting stuck proves deadlock. Transitions are
+// tried in index order, giving a deterministic sequence.
+//
+// maxLen bounds the sequence length defensively.
+func FindCompleteCycle(n *petri.Net, counts []int, maxLen int) ([]petri.Transition, error) {
+	if len(counts) != n.NumTransitions() {
+		return nil, fmt.Errorf("core: counts length %d != %d transitions", len(counts), n.NumTransitions())
+	}
+	if !n.IsConflictFree() {
+		return nil, errors.New("core: FindCompleteCycle requires a conflict-free net")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("core: negative firing count %v", counts)
+		}
+		total += c
+	}
+	if total > maxLen {
+		return nil, fmt.Errorf("core: cycle of %d firings exceeds cap %d", total, maxLen)
+	}
+	remaining := append([]int(nil), counts...)
+	m := n.InitialMarking()
+	seq := make([]petri.Transition, 0, total)
+	for len(seq) < total {
+		fired := false
+		for t := petri.Transition(0); int(t) < n.NumTransitions(); t++ {
+			if remaining[t] == 0 || !n.Enabled(m, t) {
+				continue
+			}
+			n.MustFire(m, t)
+			remaining[t]--
+			seq = append(seq, t)
+			fired = true
+		}
+		if !fired {
+			return nil, fmt.Errorf("%w: %d of %d firings done, stuck at %s with remaining %v",
+				ErrCycleDeadlock, len(seq), total, m, remaining)
+		}
+	}
+	if !m.Equal(n.InitialMarking()) {
+		return nil, fmt.Errorf("core: firing vector is not a T-invariant: final marking %s != initial %s",
+			m, n.InitialMarking())
+	}
+	return seq, nil
+}
+
+// VerifyCompleteCycle replays seq on the net from the initial marking and
+// checks it is a finite complete cycle: every firing enabled, final
+// marking equal to the initial one.
+func VerifyCompleteCycle(n *petri.Net, seq []petri.Transition) error {
+	m := n.InitialMarking()
+	if _, err := n.FireSequence(m, seq); err != nil {
+		return err
+	}
+	if !m.Equal(n.InitialMarking()) {
+		return fmt.Errorf("core: sequence ends at %s, not the initial marking %s", m, n.InitialMarking())
+	}
+	return nil
+}

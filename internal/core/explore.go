@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// CycleStrategy selects the firing policy used to realise a T-invariant as
+// a concrete finite complete cycle. The firing-count vector — and thus the
+// generated code's behaviour — is identical across strategies; what
+// changes is the interleaving, and with it the buffer (place) bounds of
+// the schedule. This implements the schedule-space exploration the paper's
+// conclusion proposes ("evaluate tradeoffs between code and buffer size").
+type CycleStrategy int
+
+const (
+	// StrategyRoundRobin fires each enabled transition once per sweep in
+	// index order: balanced interleaving (the solver's default).
+	StrategyRoundRobin CycleStrategy = iota
+	// StrategyBatch exhausts one transition's remaining firings before
+	// moving on: maximises batching (fewest context switches between
+	// operations, largest buffers).
+	StrategyBatch
+	// StrategyDemand fires the deepest enabled consumer first (highest
+	// transition index in the pipeline ordering): drains tokens eagerly,
+	// minimising buffer occupancy.
+	StrategyDemand
+)
+
+// String names the strategy.
+func (s CycleStrategy) String() string {
+	switch s {
+	case StrategyRoundRobin:
+		return "round-robin"
+	case StrategyBatch:
+		return "batch"
+	case StrategyDemand:
+		return "demand"
+	default:
+		return fmt.Sprintf("CycleStrategy(%d)", int(s))
+	}
+}
+
+// FindCompleteCycleStrategy is FindCompleteCycle under a firing policy.
+// All strategies are complete on conflict-free nets (persistence): if the
+// counts are realisable, every policy realises them.
+func FindCompleteCycleStrategy(n *petri.Net, counts []int, maxLen int, strat CycleStrategy) ([]petri.Transition, error) {
+	if len(counts) != n.NumTransitions() {
+		return nil, fmt.Errorf("core: counts length %d != %d transitions", len(counts), n.NumTransitions())
+	}
+	if !n.IsConflictFree() {
+		return nil, errors.New("core: FindCompleteCycleStrategy requires a conflict-free net")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("core: negative firing count %v", counts)
+		}
+		total += c
+	}
+	if total > maxLen {
+		return nil, fmt.Errorf("core: cycle of %d firings exceeds cap %d", total, maxLen)
+	}
+	remaining := append([]int(nil), counts...)
+	m := n.InitialMarking()
+	seq := make([]petri.Transition, 0, total)
+
+	fireOnce := func(t petri.Transition) bool {
+		if remaining[t] == 0 || !n.Enabled(m, t) {
+			return false
+		}
+		n.MustFire(m, t)
+		remaining[t]--
+		seq = append(seq, t)
+		return true
+	}
+
+	for len(seq) < total {
+		fired := false
+		switch strat {
+		case StrategyBatch:
+			for t := petri.Transition(0); int(t) < n.NumTransitions(); t++ {
+				for fireOnce(t) {
+					fired = true
+				}
+				if fired {
+					break
+				}
+			}
+		case StrategyDemand:
+			for t := petri.Transition(n.NumTransitions() - 1); t >= 0; t-- {
+				if fireOnce(t) {
+					fired = true
+					break
+				}
+			}
+		default: // round-robin
+			for t := petri.Transition(0); int(t) < n.NumTransitions(); t++ {
+				if fireOnce(t) {
+					fired = true
+				}
+			}
+		}
+		if !fired {
+			return nil, fmt.Errorf("%w: %d of %d firings done under %s", ErrCycleDeadlock, len(seq), total, strat)
+		}
+	}
+	if !m.Equal(n.InitialMarking()) {
+		return nil, fmt.Errorf("core: firing vector is not a T-invariant under %s", strat)
+	}
+	return seq, nil
+}
+
+// TradeoffPoint is one explored schedule variant.
+type TradeoffPoint struct {
+	Strategy CycleStrategy
+	// TotalBufferBound is Σ over places of the schedule's per-place
+	// maximum token count: the static memory the implementation must
+	// reserve.
+	TotalBufferBound int
+	// MaxBufferBound is the largest single-place bound.
+	MaxBufferBound int
+	// Switches counts adjacent transition changes summed over all cycles:
+	// a proxy for instruction-cache pressure / loop structure of the code
+	// (lower = more batching).
+	Switches int
+	// Schedule is the full valid schedule realised under the strategy.
+	Schedule *Schedule
+}
+
+// Explore solves the net once per strategy and reports the buffer/
+// batching tradeoff of each resulting valid schedule.
+func Explore(n *petri.Net, opt Options) ([]TradeoffPoint, error) {
+	base, err := Solve(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []TradeoffPoint
+	for _, strat := range []CycleStrategy{StrategyRoundRobin, StrategyBatch, StrategyDemand} {
+		sched := &Schedule{Net: n, AllocationCount: base.AllocationCount}
+		for _, c := range base.Cycles {
+			sub := c.Reduction.Sub
+			subCounts := make([]int, sub.Net.NumTransitions())
+			for st, pt := range sub.ParentTransition {
+				subCounts[st] = c.Counts[pt]
+			}
+			seq, err := FindCompleteCycleStrategy(sub.Net, subCounts, opt.maxCycleLength(), strat)
+			if err != nil {
+				return nil, fmt.Errorf("core: explore %s: %w", strat, err)
+			}
+			sched.Cycles = append(sched.Cycles, Cycle{
+				Sequence:  sub.MapSequenceToParent(seq),
+				Counts:    c.Counts,
+				Reduction: c.Reduction,
+			})
+		}
+		bounds, err := sched.BufferBounds()
+		if err != nil {
+			return nil, err
+		}
+		pt := TradeoffPoint{Strategy: strat, Schedule: sched}
+		for _, b := range bounds {
+			pt.TotalBufferBound += b
+			if b > pt.MaxBufferBound {
+				pt.MaxBufferBound = b
+			}
+		}
+		for _, c := range sched.Cycles {
+			for i := 1; i < len(c.Sequence); i++ {
+				if c.Sequence[i] != c.Sequence[i-1] {
+					pt.Switches++
+				}
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+)
+
+func TestStrategyStrings(t *testing.T) {
+	if StrategyRoundRobin.String() != "round-robin" ||
+		StrategyBatch.String() != "batch" ||
+		StrategyDemand.String() != "demand" {
+		t.Fatal("strategy names wrong")
+	}
+	if CycleStrategy(9).String() == "" {
+		t.Fatal("unknown strategy must render")
+	}
+}
+
+func TestStrategiesAllRealiseFigure2(t *testing.T) {
+	n := figures.Figure2()
+	counts := []int{4, 2, 1}
+	for _, strat := range []CycleStrategy{StrategyRoundRobin, StrategyBatch, StrategyDemand} {
+		seq, err := FindCompleteCycleStrategy(n, counts, 1000, strat)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if err := VerifyCompleteCycle(n, seq); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+	}
+}
+
+func TestBatchVsDemandBufferBounds(t *testing.T) {
+	// On Figure 2, batching fires t1 four times before t2 runs (p1 peaks
+	// at 4), while round-robin interleaves (p1 peaks at 2): the
+	// code-vs-buffer tradeoff of the paper's conclusion.
+	n := figures.Figure2()
+	counts := []int{4, 2, 1}
+	peak := func(seq []petri.Transition) int {
+		m := n.InitialMarking()
+		max := 0
+		for _, tr := range seq {
+			n.MustFire(m, tr)
+			for _, k := range m {
+				if k > max {
+					max = k
+				}
+			}
+		}
+		return max
+	}
+	batch, err := FindCompleteCycleStrategy(n, counts, 1000, StrategyBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := FindCompleteCycleStrategy(n, counts, 1000, StrategyRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak(batch); got != 4 {
+		t.Fatalf("batch peak = %d, want 4 (t1 t1 t1 t1 …)", got)
+	}
+	if got := peak(rr); got >= 4 {
+		t.Fatalf("round-robin peak = %d, want < 4", got)
+	}
+}
+
+func TestExploreFigure5(t *testing.T) {
+	pts, err := Explore(figures.Figure5(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var batch, demand *TradeoffPoint
+	for i := range pts {
+		// Every explored schedule must be valid.
+		for _, c := range pts[i].Schedule.Cycles {
+			if err := VerifyCompleteCycle(pts[i].Schedule.Net, c.Sequence); err != nil {
+				t.Fatalf("%s: %v", pts[i].Strategy, err)
+			}
+		}
+		switch pts[i].Strategy {
+		case StrategyBatch:
+			batch = &pts[i]
+		case StrategyDemand:
+			demand = &pts[i]
+		}
+	}
+	if batch == nil || demand == nil {
+		t.Fatal("missing strategies")
+	}
+	// Batching never reduces buffers and never increases switches.
+	if batch.TotalBufferBound < demand.TotalBufferBound {
+		t.Fatalf("batch buffers %d < demand buffers %d", batch.TotalBufferBound, demand.TotalBufferBound)
+	}
+	if batch.Switches > demand.Switches {
+		t.Fatalf("batch switches %d > demand switches %d", batch.Switches, demand.Switches)
+	}
+}
+
+func TestExploreRandomNets(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		n := netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig())
+		pts, err := Explore(n, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pt := range pts {
+			if pt.TotalBufferBound <= 0 && n.NumPlaces() > 0 {
+				// A net whose cycles move tokens must bound above zero…
+				// unless every place stays empty (possible only when
+				// there are no firings at all).
+				total := 0
+				for _, c := range pt.Schedule.Cycles {
+					total += len(c.Sequence)
+				}
+				if total > 0 {
+					t.Fatalf("seed %d %s: zero buffer bound with %d firings", seed, pt.Strategy, total)
+				}
+			}
+		}
+	}
+}
+
+func TestFindCompleteCycleStrategyValidation(t *testing.T) {
+	n := figures.Figure2()
+	if _, err := FindCompleteCycleStrategy(n, []int{1}, 10, StrategyBatch); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FindCompleteCycleStrategy(n, []int{-1, 0, 0}, 10, StrategyBatch); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, err := FindCompleteCycleStrategy(n, []int{4, 2, 1}, 2, StrategyBatch); err == nil {
+		t.Fatal("cap ignored")
+	}
+	if _, err := FindCompleteCycleStrategy(figures.Figure3a(), []int{1, 1, 0, 1, 0}, 10, StrategyBatch); err == nil {
+		t.Fatal("conflict net accepted")
+	}
+	// Non-invariant counts fail the marking check.
+	if _, err := FindCompleteCycleStrategy(n, []int{1, 0, 0}, 10, StrategyDemand); err == nil {
+		t.Fatal("non-invariant accepted")
+	}
+}
+
+func TestScheduleExport(t *testing.T) {
+	s, err := Solve(figures.Figure4(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := s.Export()
+	if ex.Net != "figure4" || ex.Allocations != 2 || len(ex.Cycles) != 2 {
+		t.Fatalf("export = %+v", ex)
+	}
+	foundT2 := false
+	for _, c := range ex.Cycles {
+		if c.Choices["p1"] == "t2" {
+			foundT2 = true
+			if c.Counts["t4"] != 1 || c.Counts["t1"] != 2 {
+				t.Fatalf("counts = %v", c.Counts)
+			}
+			if len(c.Sequence) != 5 {
+				t.Fatalf("sequence = %v", c.Sequence)
+			}
+		}
+	}
+	if !foundT2 {
+		t.Fatalf("missing t2 cycle: %+v", ex.Cycles)
+	}
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ScheduleExport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Net != "figure4" || len(back.Cycles) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestImportScheduleRoundTrip(t *testing.T) {
+	for _, n := range []*petri.Net{figures.Figure3a(), figures.Figure4(), figures.Figure5()} {
+		s, err := Solve(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ImportSchedule(n, s.Export())
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if len(back.Cycles) != len(s.Cycles) {
+			t.Fatalf("%s: cycles %d != %d", n.Name(), len(back.Cycles), len(s.Cycles))
+		}
+	}
+}
+
+func TestImportScheduleRejectsBadInput(t *testing.T) {
+	n := figures.Figure4()
+	s, err := Solve(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := s.Export()
+
+	if _, err := ImportSchedule(n, nil); err == nil {
+		t.Fatal("nil export accepted")
+	}
+
+	bad := *good
+	bad.Cycles = append([]CycleExport(nil), good.Cycles...)
+	bad.Cycles[0].Sequence = []string{"nope"}
+	if _, err := ImportSchedule(n, &bad); err == nil {
+		t.Fatal("unknown transition accepted")
+	}
+
+	bad.Cycles = append([]CycleExport(nil), good.Cycles...)
+	bad.Cycles[0].Sequence = []string{"t1"} // not a complete cycle
+	if _, err := ImportSchedule(n, &bad); err == nil {
+		t.Fatal("incomplete cycle accepted")
+	}
+
+	// Missing a reduction: only one cycle.
+	bad.Cycles = good.Cycles[:1]
+	if _, err := ImportSchedule(n, &bad); err == nil {
+		t.Fatal("under-covering schedule accepted")
+	}
+
+	// Duplicated reduction.
+	bad.Cycles = []CycleExport{good.Cycles[0], good.Cycles[0]}
+	if _, err := ImportSchedule(n, &bad); err == nil {
+		t.Fatal("duplicate reduction accepted")
+	}
+
+	// A cycle whose declared choice contradicts its firings.
+	bad.Cycles = append([]CycleExport(nil), good.Cycles...)
+	flipped := map[string]string{}
+	for k, v := range bad.Cycles[0].Choices {
+		if v == "t2" {
+			flipped[k] = "t3"
+		} else {
+			flipped[k] = "t2"
+		}
+	}
+	bad.Cycles[0].Choices = flipped
+	if _, err := ImportSchedule(n, &bad); err == nil {
+		t.Fatal("contradictory choices accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// Reduction is a T-reduction (Definition 3.4): the conflict-free subnet
+// obtained from the net by removing the part that is inactive under a
+// given T-allocation.
+type Reduction struct {
+	// Allocation is the choice resolution this reduction corresponds to.
+	Allocation *Allocation
+	// Sub is the induced conflict-free subnet with parent index maps.
+	Sub *petri.Subnet
+	// Steps is a human-readable trace of the removals performed by the
+	// reduction algorithm, in order (used to reproduce Figure 6).
+	Steps []string
+}
+
+// Reduce applies the paper's modified Hack reduction algorithm (Section 3,
+// Step 1) to the net under the given allocation:
+//
+//  1. Start from the full net.
+//  2. Remove every non-allocated (conflict) transition t. For each place s
+//     in t's postset, remove s unless (i) s has another surviving producer
+//     or (ii) some surviving consumer of s has another surviving input
+//     place that is not a source place (a place with no surviving
+//     producers).
+//  3. When a place s is removed, remove each consumer t of s when (i) t
+//     has no surviving input place, or (ii) all of t's surviving input
+//     places are source places — in which case those places are removed
+//     too.
+//  4. Iterate until no rule applies.
+//
+// The result is a set of disjoint conflict-free subnets, returned as a
+// single (possibly disconnected) subnet.
+func Reduce(n *petri.Net, alloc *Allocation) *Reduction {
+	aliveT := make([]bool, n.NumTransitions())
+	aliveP := make([]bool, n.NumPlaces())
+	for i := range aliveT {
+		aliveT[i] = true
+	}
+	for i := range aliveP {
+		aliveP[i] = true
+	}
+	red := &Reduction{Allocation: alloc}
+
+	// isSourcePlace reports whether p currently has no surviving producer.
+	isSourcePlace := func(p petri.Place) bool {
+		for _, ta := range n.Producers(p) {
+			if aliveT[ta.Transition] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var removePlace func(p petri.Place)
+	var removeTransition func(t petri.Transition, reason string)
+
+	// maybeRemovePlace applies rule 2(b) to a postset place of a removed
+	// transition.
+	maybeRemovePlace := func(s petri.Place) {
+		if !aliveP[s] {
+			return
+		}
+		// (i) another surviving producer keeps s.
+		if !isSourcePlace(s) {
+			return
+		}
+		// (ii) a surviving consumer with another surviving non-source
+		// input place keeps s.
+		for _, ta := range n.Consumers(s) {
+			if !aliveT[ta.Transition] {
+				continue
+			}
+			for _, in := range n.Pre(ta.Transition) {
+				if in.Place != s && aliveP[in.Place] && !isSourcePlace(in.Place) {
+					return
+				}
+			}
+		}
+		removePlace(s)
+	}
+
+	removePlace = func(p petri.Place) {
+		if !aliveP[p] {
+			return
+		}
+		aliveP[p] = false
+		red.Steps = append(red.Steps, "remove "+n.PlaceName(p))
+		// Rule 2(c): consumers of a removed place.
+		for _, ta := range n.Consumers(p) {
+			tj := ta.Transition
+			if !aliveT[tj] {
+				continue
+			}
+			surviving := 0
+			allSources := true
+			for _, in := range n.Pre(tj) {
+				if !aliveP[in.Place] {
+					continue
+				}
+				surviving++
+				if !isSourcePlace(in.Place) {
+					allSources = false
+				}
+			}
+			switch {
+			case surviving == 0:
+				removeTransition(tj, "no input place")
+			case allSources:
+				// Remove tj and every surviving (source) input place.
+				inputs := make([]petri.Place, 0, surviving)
+				for _, in := range n.Pre(tj) {
+					if aliveP[in.Place] {
+						inputs = append(inputs, in.Place)
+					}
+				}
+				removeTransition(tj, "all inputs are source places")
+				for _, in := range inputs {
+					removePlace(in)
+				}
+			}
+		}
+	}
+
+	removeTransition = func(t petri.Transition, reason string) {
+		if !aliveT[t] {
+			return
+		}
+		aliveT[t] = false
+		red.Steps = append(red.Steps, fmt.Sprintf("remove %s (%s)", n.TransitionName(t), reason))
+		for _, out := range n.Post(t) {
+			maybeRemovePlace(out.Place)
+		}
+	}
+
+	// Seed: remove the non-allocated conflict transitions.
+	for i, c := range alloc.Clusters {
+		for _, t := range c.Transitions {
+			if t != alloc.Chosen[i] {
+				removeTransition(t, "unallocated")
+			}
+		}
+	}
+
+	// Rule 2(d): iterate until no rule applies. A place kept by rule
+	// 2(b)(ii) can lose its justification when a later cascade removes the
+	// consumer or starves the other input place, so places that lost every
+	// producer (but had producers in the original net) are re-examined
+	// until the step trace stops growing.
+	for {
+		before := len(red.Steps)
+		for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+			if aliveP[p] && len(n.Producers(p)) > 0 && isSourcePlace(p) {
+				maybeRemovePlace(p)
+			}
+		}
+		if len(red.Steps) == before {
+			break
+		}
+	}
+
+	var keepT []petri.Transition
+	for t := petri.Transition(0); int(t) < n.NumTransitions(); t++ {
+		if aliveT[t] {
+			keepT = append(keepT, t)
+		}
+	}
+	var keepP []petri.Place
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if aliveP[p] {
+			keepP = append(keepP, p)
+		}
+	}
+	red.Sub = n.InducedSubnet(n.Name()+"/"+alloc.describe(n), keepT, keepP)
+	return red
+}
+
+// KeptTransitionNames lists the surviving transitions by name, for tests.
+func (r *Reduction) KeptTransitionNames(n *petri.Net) []string {
+	out := make([]string, len(r.Sub.ParentTransition))
+	for i, t := range r.Sub.ParentTransition {
+		out[i] = n.TransitionName(t)
+	}
+	return out
+}
+
+// KeptPlaceNames lists the surviving places by name, for tests.
+func (r *Reduction) KeptPlaceNames(n *petri.Net) []string {
+	out := make([]string, len(r.Sub.ParentPlace))
+	for i, p := range r.Sub.ParentPlace {
+		out[i] = n.PlaceName(p)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/petri"
+)
+
+func TestFigure5TwoTasks(t *testing.T) {
+	// Figure 5 has two independent-rate sources t1 and t8: they never
+	// share a minimal T-invariant, so the partition yields two tasks, with
+	// t6 shared (it drains p4, fed by both t4 and t9).
+	n := figures.Figure5()
+	tp, err := PartitionTasks(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 2 {
+		t.Fatalf("tasks = %d, want 2", tp.NumTasks())
+	}
+	byName := map[string]Task{}
+	for _, task := range tp.Tasks {
+		byName[task.Name] = task
+	}
+	t1task, ok := byName["task_t1"]
+	if !ok {
+		t.Fatalf("missing task_t1: %v", byName)
+	}
+	t8task, ok := byName["task_t8"]
+	if !ok {
+		t.Fatalf("missing task_t8: %v", byName)
+	}
+	t6, _ := n.TransitionByName("t6")
+	if !t1task.Contains(t6) || !t8task.Contains(t6) {
+		t.Fatal("t6 must be shared between both tasks")
+	}
+	t2, _ := n.TransitionByName("t2")
+	if t8task.Contains(t2) {
+		t.Fatal("t2 belongs only to the t1 task")
+	}
+	shared := tp.SharedTransitions()
+	if len(shared) != 1 || shared[0] != t6 {
+		t.Fatalf("SharedTransitions = %v, want {t6}", n.SequenceNames(shared))
+	}
+}
+
+func TestFigure3aSingleTask(t *testing.T) {
+	tp, err := PartitionTasks(figures.Figure3a(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 1 {
+		t.Fatalf("tasks = %d, want 1 (single input)", tp.NumTasks())
+	}
+	if got := len(tp.Tasks[0].Transitions); got != 5 {
+		t.Fatalf("task covers %d transitions, want all 5", got)
+	}
+}
+
+func TestDependentSourcesMerge(t *testing.T) {
+	// Two sources feeding the same synchronising transition are
+	// rate-dependent: one task.
+	b := petri.NewBuilder("dep")
+	s1 := b.Transition("s1")
+	s2 := b.Transition("s2")
+	join := b.Transition("join")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	b.Chain(s1, p1, join)
+	b.Chain(s2, p2, join)
+	n := b.Build()
+	tp, err := PartitionTasks(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 1 {
+		t.Fatalf("tasks = %d, want 1 (s1 and s2 share the join invariant)", tp.NumTasks())
+	}
+	if len(tp.Tasks[0].Sources) != 2 {
+		t.Fatalf("sources = %v", tp.Tasks[0].Sources)
+	}
+}
+
+func TestAutonomousTask(t *testing.T) {
+	// A net with no sources at all becomes one autonomous task.
+	b := petri.NewBuilder("loop")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	p := b.MarkedPlace("p", 1)
+	q := b.Place("q")
+	b.Chain(t1, p, t2, q, t1)
+	tp, err := PartitionTasks(b.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 1 || tp.Tasks[0].Name != "task_main" {
+		t.Fatalf("tasks = %+v", tp.Tasks)
+	}
+}
+
+func TestOrphanLoopTask(t *testing.T) {
+	// A source-driven chain next to a disjoint autonomous loop: the loop
+	// forms its own task.
+	b := petri.NewBuilder("mixed")
+	src := b.Transition("src")
+	sink := b.Transition("sink")
+	p := b.Place("p")
+	b.Chain(src, p, sink)
+	l1 := b.Transition("l1")
+	l2 := b.Transition("l2")
+	lp := b.MarkedPlace("lp", 1)
+	lq := b.Place("lq")
+	b.Chain(l1, lp, l2, lq, l1)
+	n := b.Build()
+	tp, err := PartitionTasks(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 2 {
+		t.Fatalf("tasks = %d, want 2 (source chain + autonomous loop)", tp.NumTasks())
+	}
+	found := false
+	for _, task := range tp.Tasks {
+		if task.Name == "task_autonomous" {
+			found = true
+			if len(task.Transitions) != 2 {
+				t.Fatalf("autonomous task = %v", task.Transitions)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no autonomous task created")
+	}
+}
+
+func TestSourceFreeInvariantAttaches(t *testing.T) {
+	// Figure 5's invariant (t6,t8,t9) contains source t8, so it is not
+	// source-free; build a variant where an internal loop touches a task:
+	// src -> p -> a -> q -> sink, and loop a? Instead: loop (l1,l2) where
+	// l1 also consumes from the source chain — shares transition? Simplest
+	// check: loop sharing a transition with a task attaches to it.
+	b := petri.NewBuilder("attach")
+	src := b.Transition("src")
+	a := b.Transition("a")
+	p := b.Place("p")
+	b.Chain(src, p, a)
+	// a participates in a marked self-loop (state), giving a source-free
+	// invariant {a}: place s -> a -> s.
+	s := b.MarkedPlace("s", 1)
+	b.Arc(s, a)
+	b.ArcTP(a, s)
+	n := b.Build()
+	tp, err := PartitionTasks(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 1 {
+		t.Fatalf("tasks = %+v", tp.Tasks)
+	}
+}
+
+func TestTaskContains(t *testing.T) {
+	task := Task{Transitions: []petri.Transition{1, 3, 5}}
+	if !task.Contains(3) || task.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fcpn/internal/petri"
+)
+
+// DecisionNode is one node of the schedule's decision-tree view: the
+// maximal common firing prefix of the cycles below it, followed by either
+// nothing (a leaf: one cycle ends here) or a branch per resolution of the
+// next differing choice.
+type DecisionNode struct {
+	// Prefix is the firing run shared by every cycle under this node.
+	Prefix []petri.Transition
+	// Choice is the place whose resolution splits the children; -1 for a
+	// leaf.
+	Choice petri.Place
+	// Children maps each resolving transition to the subtree that follows
+	// it, ordered by transition index.
+	Children []DecisionChild
+}
+
+// DecisionChild is one branch of a DecisionNode.
+type DecisionChild struct {
+	Via  petri.Transition
+	Node *DecisionNode
+}
+
+// DecisionTree folds the valid schedule's cycles into a prefix tree: the
+// quasi-static schedule as the paper describes it operationally — run the
+// common prefix at compile-time-fixed order, test the choice, continue in
+// the selected branch. Cycles whose next transitions differ without being
+// alternatives of one free choice (possible when distinct reductions
+// diverge in firing order before their distinguishing choice) are split
+// on their first differing position using that transition's cluster.
+func (s *Schedule) DecisionTree() *DecisionNode {
+	seqs := make([][]petri.Transition, len(s.Cycles))
+	for i, c := range s.Cycles {
+		seqs[i] = c.Sequence
+	}
+	return s.buildTree(seqs)
+}
+
+func (s *Schedule) buildTree(seqs [][]petri.Transition) *DecisionNode {
+	node := &DecisionNode{Choice: -1}
+	if len(seqs) == 0 {
+		return node
+	}
+	depth := 0
+	for {
+		// All sequences exhausted together?
+		if depth >= len(seqs[0]) {
+			allDone := true
+			for _, q := range seqs {
+				if depth < len(q) {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				node.Prefix = append(node.Prefix, seqs[0][:depth]...)
+				return node
+			}
+		}
+		// Do all sequences agree at this depth?
+		agree := true
+		var first petri.Transition = -1
+		for _, q := range seqs {
+			if depth >= len(q) {
+				agree = false
+				break
+			}
+			if first == -1 {
+				first = q[depth]
+			} else if q[depth] != first {
+				agree = false
+				break
+			}
+		}
+		if agree && len(seqs) > 0 {
+			depth++
+			continue
+		}
+		// Split: group by the transition at this depth (sequences that
+		// ended contribute a leaf with empty remainder).
+		node.Prefix = append(node.Prefix, seqs[0][:depth]...)
+		groups := map[petri.Transition][][]petri.Transition{}
+		var ended [][]petri.Transition
+		for _, q := range seqs {
+			if depth >= len(q) {
+				ended = append(ended, nil)
+				continue
+			}
+			groups[q[depth]] = append(groups[q[depth]], q[depth:])
+		}
+		// The splitting choice place: the shared input place of the
+		// divergent transitions (they are free-choice alternatives when
+		// the schedule is well-formed).
+		var vias []petri.Transition
+		for via := range groups {
+			vias = append(vias, via)
+		}
+		sort.Slice(vias, func(i, j int) bool { return vias[i] < vias[j] })
+		if len(vias) > 0 {
+			if pre := s.Net.Pre(vias[0]); len(pre) == 1 {
+				node.Choice = pre[0].Place
+			}
+		}
+		for _, via := range vias {
+			sub := groups[via]
+			// Strip the branching transition into the child's prefix.
+			trimmed := make([][]petri.Transition, len(sub))
+			for i, q := range sub {
+				trimmed[i] = q[1:]
+			}
+			child := s.buildTree(trimmed)
+			child.Prefix = append([]petri.Transition{via}, child.Prefix...)
+			node.Children = append(node.Children, DecisionChild{Via: via, Node: child})
+		}
+		_ = ended // cycles ending at the split point need no branch
+		return node
+	}
+}
+
+// FormatTree renders the decision tree with indentation, transition names
+// and choice annotations.
+func (s *Schedule) FormatTree() string {
+	var b strings.Builder
+	var walk func(n *DecisionNode, depth int)
+	walk = func(n *DecisionNode, depth int) {
+		ind := strings.Repeat("  ", depth)
+		if len(n.Prefix) > 0 {
+			fmt.Fprintf(&b, "%s%s\n", ind, strings.Join(s.Net.SequenceNames(n.Prefix), " "))
+		}
+		if len(n.Children) == 0 {
+			return
+		}
+		name := "?"
+		if n.Choice >= 0 {
+			name = s.Net.PlaceName(n.Choice)
+		}
+		fmt.Fprintf(&b, "%schoice %s:\n", ind, name)
+		for _, c := range n.Children {
+			walk(c.Node, depth+1)
+		}
+	}
+	walk(s.DecisionTree(), 0)
+	return b.String()
+}
+
+// Leaves counts the tree's leaf nodes (= number of distinct cycle endings).
+func (n *DecisionNode) Leaves() int {
+	if len(n.Children) == 0 {
+		return 1
+	}
+	sum := 0
+	for _, c := range n.Children {
+		sum += c.Node.Leaves()
+	}
+	return sum
+}
+
+// TreeDOT renders the decision tree in Graphviz syntax: prefix runs as
+// boxes, choices as diamonds, one edge per resolution.
+func (s *Schedule) TreeDOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n", s.Net.Name()+"_schedule")
+	id := 0
+	var emit func(n *DecisionNode) int
+	emit = func(n *DecisionNode) int {
+		my := id
+		id++
+		label := strings.Join(s.Net.SequenceNames(n.Prefix), " ")
+		if label == "" {
+			label = "·"
+		}
+		if len(n.Children) == 0 {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=%q];\n", my, label+" ⟳")
+			return my
+		}
+		fmt.Fprintf(&b, "  n%d [shape=box, label=%q];\n", my, label)
+		choiceName := "?"
+		if n.Choice >= 0 {
+			choiceName = s.Net.PlaceName(n.Choice)
+		}
+		d := id
+		id++
+		fmt.Fprintf(&b, "  n%d [shape=diamond, label=%q];\n", d, choiceName)
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", my, d)
+		for _, c := range n.Children {
+			child := emit(c.Node)
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", d, child, s.Net.TransitionName(c.Via))
+		}
+		return my
+	}
+	emit(s.DecisionTree())
+	b.WriteString("}\n")
+	return b.String()
+}

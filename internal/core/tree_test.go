@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+)
+
+func TestDecisionTreeFigure3a(t *testing.T) {
+	s := mustSolve(t, figures.Figure3a())
+	tree := s.DecisionTree()
+	// Common prefix t1, then the p1 choice with two leaves.
+	if got := s.Net.SequenceNames(tree.Prefix); len(got) != 1 || got[0] != "t1" {
+		t.Fatalf("prefix = %v", got)
+	}
+	if tree.Choice < 0 || s.Net.PlaceName(tree.Choice) != "p1" {
+		t.Fatalf("choice = %v", tree.Choice)
+	}
+	if len(tree.Children) != 2 || tree.Leaves() != 2 {
+		t.Fatalf("children = %d leaves = %d", len(tree.Children), tree.Leaves())
+	}
+	text := s.FormatTree()
+	for _, frag := range []string{"t1\n", "choice p1:", "t2 t4", "t3 t5"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("FormatTree missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestDecisionTreeFigure4(t *testing.T) {
+	s := mustSolve(t, figures.Figure4())
+	tree := s.DecisionTree()
+	// Cycles (t1 t2 t1 t2 t4) and (t1 t3 t5 t5): prefix t1, split on p1.
+	if tree.Leaves() != 2 {
+		t.Fatalf("leaves = %d", tree.Leaves())
+	}
+	if s.Net.PlaceName(tree.Choice) != "p1" {
+		t.Fatalf("choice = %v", tree.Choice)
+	}
+}
+
+func TestDecisionTreeLeavesMatchCycles(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		n := netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig())
+		s, err := Solve(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := s.DecisionTree()
+		// Each cycle contributes exactly one leaf unless two cycles share
+		// a full sequence prefix relationship (impossible: cycles are
+		// distinct complete sequences returning to μ0 and deduped).
+		if got := tree.Leaves(); got > len(s.Cycles) || got < 1 {
+			t.Fatalf("seed %d: leaves = %d for %d cycles", seed, got, len(s.Cycles))
+		}
+		// Replaying every root-to-leaf path must be a valid cycle.
+		var walk func(node *DecisionNode, prefix []petri.Transition)
+		walk = func(node *DecisionNode, prefix []petri.Transition) {
+			seq := append(append([]petri.Transition{}, prefix...), node.Prefix...)
+			if len(node.Children) == 0 {
+				if err := VerifyCompleteCycle(n, seq); err != nil {
+					t.Fatalf("seed %d: leaf path invalid: %v", seed, err)
+				}
+				return
+			}
+			for _, c := range node.Children {
+				walk(c.Node, seq)
+			}
+		}
+		walk(tree, nil)
+	}
+}
+
+func TestDecisionTreeSingleCycle(t *testing.T) {
+	s := mustSolve(t, figures.Figure2())
+	tree := s.DecisionTree()
+	if len(tree.Children) != 0 || tree.Leaves() != 1 {
+		t.Fatalf("marked graph tree must be a single leaf: %+v", tree)
+	}
+	if len(tree.Prefix) != 7 {
+		t.Fatalf("prefix length = %d, want 7 firings", len(tree.Prefix))
+	}
+}
+
+func TestTreeDOT(t *testing.T) {
+	s := mustSolve(t, figures.Figure3a())
+	dot := s.TreeDOT()
+	for _, frag := range []string{"digraph", "shape=diamond", `label="p1"`, "⟳"} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("TreeDOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestScheduleStats(t *testing.T) {
+	s := mustSolve(t, figures.Figure4())
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 2 {
+		t.Fatalf("cycles = %d", st.Cycles)
+	}
+	// Cycles: 5 and 4 firings.
+	if st.MaxCycleLen != 5 || st.TotalFirings != 9 {
+		t.Fatalf("lens = %d/%d", st.MaxCycleLen, st.TotalFirings)
+	}
+	// Bounds: p1:1 p2:2 p3:2.
+	if st.TotalBufferBound != 5 || st.MaxBuffer != 2 {
+		t.Fatalf("bounds = %d/%d", st.TotalBufferBound, st.MaxBuffer)
+	}
+}

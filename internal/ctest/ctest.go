@@ -1,0 +1,180 @@
+// Package ctest provides the compiled-execution test harness shared by
+// the codegen and atm test suites: it compiles generated C with the system
+// compiler, links it against a generated counting driver, runs the binary
+// and compares its firing counts with the Go interpreter driven by the
+// same decision streams.
+package ctest
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fcpn/internal/codegen"
+	"fcpn/internal/core"
+	"fcpn/internal/petri"
+)
+
+func RunCompiledComparison(t *testing.T, cc string, n *petri.Net, events int) {
+	t.Helper()
+	RunCompiledComparisonWithResolver(t, cc, n, events, nil, nil)
+}
+
+// RunCompiledComparisonWithResolver is RunCompiledComparison with a
+// caller-supplied choice resolver (nil for the default alternating one)
+// and an optional OnFire hook for behavioural models.
+func RunCompiledComparisonWithResolver(t *testing.T, cc string, n *petri.Net, events int,
+	base codegen.ChoiceResolver, onFire func(petri.Transition)) {
+	t.Helper()
+	s, err := core.Solve(n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := core.PartitionTasks(n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Generate(s, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference run: interpreter with a recording resolver. The recorded
+	// streams become the C driver's scripted read_<place>()
+	// implementations.
+	decisions := map[petri.Place][]int{}
+	counters := map[petri.Place]int{}
+	resolver := func(p petri.Place, alts []petri.Transition) int {
+		var pick int
+		if base != nil {
+			pick = base(p, alts)
+		} else {
+			pick = counters[p] % len(alts)
+		}
+		counters[p]++
+		decisions[p] = append(decisions[p], pick)
+		return pick
+	}
+	in := codegen.NewInterp(prog, resolver)
+	in.OnFire = onFire
+	sources := n.SourceTransitions()
+	var eventOrder []petri.Transition
+	for e := 0; e < events; e++ {
+		src := sources[e%len(sources)]
+		eventOrder = append(eventOrder, src)
+		if err := in.RunSource(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.StateEquationCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generated translation unit + driver.
+	taskSrc := codegen.EmitC(prog, codegen.CConfig{})
+	driver := buildDriver(prog, decisions, eventOrder)
+
+	dir := t.TempDir()
+	taskPath := filepath.Join(dir, "tasks.c")
+	driverPath := filepath.Join(dir, "driver.c")
+	binPath := filepath.Join(dir, "run")
+	if err := os.WriteFile(taskPath, []byte(taskSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(driverPath, []byte(driver), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(cc, "-std=c99", "-Wall", "-Werror", taskPath, driverPath, "-o", binPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cc: %v\n%s\n--- tasks ---\n%s\n--- driver ---\n%s", err, out, taskSrc, driver)
+	}
+	out, err = exec.Command(binPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("binary failed: %v\n%s", err, out)
+	}
+
+	// The binary prints "name count" lines; compare with the interpreter.
+	got := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad output line %q", line)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[fields[0]] = v
+	}
+	for tr := 0; tr < n.NumTransitions(); tr++ {
+		name := codegen.CIdent(n.TransitionName(petri.Transition(tr)))
+		if got[name] != in.Stats.Fired[tr] {
+			t.Fatalf("firing counts diverge at %s: C binary %d, interpreter %d\noutput:\n%s",
+				name, got[name], in.Stats.Fired[tr], out)
+		}
+	}
+}
+
+// buildDriver emits a C main that defines counting transition hooks,
+// scripted choice predicates, fires the recorded event order and prints
+// the firing counts.
+func buildDriver(prog *codegen.Program, decisions map[petri.Place][]int, events []petri.Transition) string {
+	n := prog.Net
+	var b strings.Builder
+	b.WriteString("#include <stdio.h>\n\n")
+	for t := 0; t < n.NumTransitions(); t++ {
+		name := codegen.CIdent(n.TransitionName(petri.Transition(t)))
+		fmt.Fprintf(&b, "static int count_%s;\nvoid %s(void) { count_%s++; }\n", name, name, name)
+	}
+	b.WriteString("\n")
+	for p := 0; p < n.NumPlaces(); p++ {
+		if len(n.Consumers(petri.Place(p))) <= 1 {
+			continue
+		}
+		name := codegen.CIdent(n.PlaceName(petri.Place(p)))
+		seq := decisions[petri.Place(p)]
+		fmt.Fprintf(&b, "static int idx_%s;\nstatic const int seq_%s[] = {", name, name)
+		for i, v := range seq {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			// The 2-way C form is `if (read_p())` taking branch 0 on
+			// non-zero, so invert the recorded branch index for pairs.
+			if len(n.Consumers(petri.Place(p))) == 2 {
+				if v == 0 {
+					b.WriteString("1")
+				} else {
+					b.WriteString("0")
+				}
+			} else {
+				fmt.Fprintf(&b, "%d", v)
+			}
+		}
+		if len(seq) == 0 {
+			b.WriteString("0")
+		}
+		fmt.Fprintf(&b, "};\nint read_%s(void) { return seq_%s[idx_%s++]; }\n\n", name, name, name)
+	}
+	// Task entry prototypes.
+	for _, tc := range prog.Tasks {
+		for _, body := range tc.Bodies {
+			fmt.Fprintf(&b, "extern void %s(void);\n", codegen.CIdent(codegen.TaskEntryName(tc, n.TransitionName(body.Source))))
+		}
+	}
+	b.WriteString("\nint main(void) {\n")
+	for _, src := range events {
+		ti := prog.TaskBySource(src)
+		tc := prog.Tasks[ti]
+		fmt.Fprintf(&b, "\t%s();\n", codegen.CIdent(codegen.TaskEntryName(tc, n.TransitionName(src))))
+	}
+	for t := 0; t < n.NumTransitions(); t++ {
+		name := codegen.CIdent(n.TransitionName(petri.Transition(t)))
+		fmt.Fprintf(&b, "\tprintf(\"%s %%d\\n\", count_%s);\n", name, name)
+	}
+	b.WriteString("\treturn 0;\n}\n")
+	return b.String()
+}

@@ -1,0 +1,205 @@
+// Package figures constructs the example nets of Sgroi et al. (DAC 1999),
+// one constructor per paper figure. Tests, benchmarks and examples all pull
+// their inputs from here so the paper's numbers are reproduced from a
+// single source of truth.
+//
+// Where the scanned figure is ambiguous, the reconstruction is the unique
+// net consistent with every quantity stated in the text (T-invariants,
+// valid schedules, reduction traces); each constructor documents the
+// evidence it was checked against.
+package figures
+
+import "fcpn/internal/petri"
+
+// Figure1a is the free-choice fragment of Figure 1: one place with two
+// output transitions, each having that place as its only input.
+func Figure1a() *petri.Net {
+	b := petri.NewBuilder("figure1a")
+	p := b.MarkedPlace("p", 1)
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	b.Arc(p, t1)
+	b.Arc(p, t2)
+	return b.Build()
+}
+
+// Figure1b is the non-free-choice fragment of Figure 1: t2 consumes from
+// both p1 and p2 while t3 consumes from p2 alone, so there is a marking
+// (token in p2 only) at which t3 is enabled and t2 is not.
+func Figure1b() *petri.Net {
+	b := petri.NewBuilder("figure1b")
+	p1 := b.Place("p1")
+	p2 := b.MarkedPlace("p2", 1)
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	b.ArcTP(t1, p1)
+	b.Arc(p1, t2)
+	b.Arc(p2, t2)
+	b.Arc(p2, t3)
+	return b.Build()
+}
+
+// Figure2 is the multirate marked graph of Figure 2 with minimal
+// T-invariant f(σ) = (4, 2, 1): t1 → p1 →² t2 → p2 →² t3 with initial
+// marking (0, 0). The finite complete cycle is t1 t1 t1 t1 t2 t2 t3.
+func Figure2() *petri.Net {
+	b := petri.NewBuilder("figure2")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	b.ArcTP(t1, p1)
+	b.WeightedArc(p1, t2, 2)
+	b.ArcTP(t2, p2)
+	b.WeightedArc(p2, t3, 2)
+	return b.Build()
+}
+
+// Figure3a is the schedulable FCPN of Figure 3a: source t1 feeds choice
+// place p1 resolved by t2 or t3, each followed by its own sink chain. The
+// paper's valid schedule is S = {(t1 t2 t4), (t1 t3 t5)} and the
+// T-invariant space is a·(1,1,0,1,0) + b·(1,0,1,0,1).
+func Figure3a() *petri.Net {
+	b := petri.NewBuilder("figure3a")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	t4 := b.Transition("t4")
+	t5 := b.Transition("t5")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	p3 := b.Place("p3")
+	b.Chain(t1, p1, t2, p2, t4)
+	b.Chain(p1, t3, p3, t5)
+	return b.Build()
+}
+
+// Figure3b is the non-schedulable FCPN of Figure 3b: the two branches of
+// the choice re-synchronise on t4, which consumes from both p2 and p3.
+// The only T-invariants are multiples of (2,1,1,1), so an adversary that
+// always resolves the choice towards t2 (or t3) accumulates unboundedly
+// many tokens in p2 (or p3); no valid schedule exists.
+func Figure3b() *petri.Net {
+	b := petri.NewBuilder("figure3b")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	t4 := b.Transition("t4")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	p3 := b.Place("p3")
+	b.Chain(t1, p1, t2, p2, t4)
+	b.Chain(p1, t3, p3, t4)
+	return b.Build()
+}
+
+// Figure4 is the weighted-arc schedulable net of Figure 4: the input arc of
+// t4 has weight 2 and t3 produces two tokens into p3. The paper's valid
+// schedule is S = {(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}; Section 4 lists the C
+// code generated from it.
+func Figure4() *petri.Net {
+	b := petri.NewBuilder("figure4")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	t4 := b.Transition("t4")
+	t5 := b.Transition("t5")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	p3 := b.Place("p3")
+	b.Chain(t1, p1, t2, p2)
+	b.WeightedArc(p2, t4, 2)
+	b.Arc(p1, t3)
+	b.WeightedArcTP(t3, p3, 2)
+	b.Chain(p3, t5)
+	return b.Build()
+}
+
+// Figure5 is the two-source weighted FCPN of Figures 5 and 6. Checked
+// against the paper: the T-invariants of reduction R1 are
+// (1,1,0,2,0,4,0,0,0) and (0,0,0,0,0,1,0,1,1) over (t1…t9), reduction R1
+// keeps {t1,t2,t4,t6,t8,t9} (Figure 6's trace removes t3, p3, t5, p5, p6,
+// t7 in that order), and the paper's valid schedule is
+// {(t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6), (t1 t3 t5 t7 t7 t8 t9 t6)}.
+func Figure5() *petri.Net {
+	b := petri.NewBuilder("figure5")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	t4 := b.Transition("t4")
+	t5 := b.Transition("t5")
+	t6 := b.Transition("t6")
+	t7 := b.Transition("t7")
+	t8 := b.Transition("t8")
+	t9 := b.Transition("t9")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	p3 := b.Place("p3")
+	p4 := b.Place("p4")
+	p5 := b.Place("p5")
+	p6 := b.Place("p6")
+	p7 := b.Place("p7")
+	b.ArcTP(t1, p1) // t1 is a source input
+	b.Arc(p1, t2)   // p1 is the free choice
+	b.Arc(p1, t3)
+	b.WeightedArcTP(t2, p2, 2)
+	b.Arc(p2, t4)
+	b.WeightedArcTP(t4, p4, 2)
+	b.Arc(p4, t6) // t6 is a sink
+	b.Chain(t3, p3, t5)
+	b.WeightedArcTP(t5, p5, 2)
+	b.WeightedArcTP(t5, p6, 2)
+	b.Arc(p5, t7) // t7 is a sink
+	b.Arc(p6, t7)
+	b.Chain(t8, p7, t9) // t8 is the second source input
+	b.ArcTP(t9, p4)     // merge into p4
+	return b.Build()
+}
+
+// Figure7 is the non-schedulable FCPN of Figure 7. It differs from
+// Figure 5 in that the two choice branches re-join at synchronising
+// transitions (t6 consumes p4 and p5; t7 consumes p6): every T-reduction
+// keeps a producer-less place, forcing f = 0 — both reductions are
+// inconsistent, so the net is not schedulable. Checked against the paper:
+// R1 keeps {t1,p1,t2,p2,t4,p4,p5,t6}, R2 keeps
+// {t1,p1,t3,p3,t5,p4,p5,p6,t6,t7}, and firing (t1 t2 t4 t6) forever would
+// accumulate tokens in p4 because p3 cannot supply p5.
+func Figure7() *petri.Net {
+	b := petri.NewBuilder("figure7")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	t4 := b.Transition("t4")
+	t5 := b.Transition("t5")
+	t6 := b.Transition("t6")
+	t7 := b.Transition("t7")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	p3 := b.Place("p3")
+	p4 := b.Place("p4")
+	p5 := b.Place("p5")
+	p6 := b.Place("p6")
+	b.ArcTP(t1, p1)
+	b.Arc(p1, t2)
+	b.Arc(p1, t3)
+	b.Chain(t2, p2, t4, p4, t6)
+	b.Chain(t3, p3, t5, p5, t6)
+	b.Chain(t5, p6, t7)
+	return b.Build()
+}
+
+// All returns every figure net keyed by name, for table-driven tests.
+func All() map[string]*petri.Net {
+	return map[string]*petri.Net{
+		"figure1a": Figure1a(),
+		"figure1b": Figure1b(),
+		"figure2":  Figure2(),
+		"figure3a": Figure3a(),
+		"figure3b": Figure3b(),
+		"figure4":  Figure4(),
+		"figure5":  Figure5(),
+		"figure7":  Figure7(),
+	}
+}

@@ -1,0 +1,26 @@
+package invariant
+
+import (
+	"testing"
+
+	"fcpn/internal/figures"
+)
+
+func BenchmarkTInvariantsFigure5(b *testing.B) {
+	n := figures.Figure5()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TInvariants(n, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankTheorem(b *testing.B) {
+	n := figures.Figure3a()
+	for i := 0; i < b.N; i++ {
+		if _, err := RankTheoremFC(n, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package invariant
+
+import "fcpn/internal/petri"
+
+// Unbounded is the sentinel StructuralBounds reports for places covered by
+// no P-invariant (no structural bound exists; the place may still be
+// bounded behaviourally).
+const Unbounded = -1
+
+// StructuralBounds derives per-place token bounds from P-invariants: for a
+// semiflow y and any reachable marking μ, y·μ = y·μ0, so
+// μ(p) ≤ (y·μ0)/y[p] for every invariant with y[p] > 0. The tightest such
+// bound is returned per place; places in no invariant get Unbounded.
+//
+// The bounds hold for *any* firing policy — they complement the
+// schedule-specific bounds of core.Schedule.BufferBounds, which are
+// usually tighter but only valid under the computed schedule.
+func StructuralBounds(n *petri.Net, pis []PInvariant) []int {
+	bounds := make([]int, n.NumPlaces())
+	for i := range bounds {
+		bounds[i] = Unbounded
+	}
+	m0 := n.InitialMarking()
+	for _, pi := range pis {
+		total := pi.TokenSum(m0)
+		for p, w := range pi.Weights {
+			if w <= 0 {
+				continue
+			}
+			b := total / w
+			if bounds[p] == Unbounded || b < bounds[p] {
+				bounds[p] = b
+			}
+		}
+	}
+	return bounds
+}
+
+// StructurallyBounded reports whether every place has a structural bound
+// (equivalent to conservativeness coverage).
+func StructurallyBounded(n *petri.Net, pis []PInvariant) bool {
+	for _, b := range StructuralBounds(n, pis) {
+		if b == Unbounded {
+			return false
+		}
+	}
+	return n.NumPlaces() > 0
+}

@@ -1,0 +1,172 @@
+package invariant
+
+import (
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/petri"
+	"fcpn/internal/reach"
+)
+
+func TestStructuralBoundsCycle(t *testing.T) {
+	// Cycle with 3 tokens: each place bounded by 3.
+	b := petri.NewBuilder("cyc")
+	p := b.MarkedPlace("p", 3)
+	q := b.Place("q")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	b.Chain(p, t1, q, t2, p)
+	n := b.Build()
+	pis, err := PInvariants(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := StructuralBounds(n, pis)
+	if bounds[p] != 3 || bounds[q] != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if !StructurallyBounded(n, pis) {
+		t.Fatal("cycle is structurally bounded")
+	}
+}
+
+func TestStructuralBoundsWeighted(t *testing.T) {
+	// credit(2) -> t1 -> p1 -2-> t2 -2-> credit: invariant 2·p1 + credit?
+	// Check the derived bound against the exact behavioural bound.
+	b := petri.NewBuilder("w")
+	credit := b.MarkedPlace("credit", 2)
+	p1 := b.Place("p1")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	b.Arc(credit, t1)
+	b.ArcTP(t1, p1)
+	b.WeightedArc(p1, t2, 2)
+	b.WeightedArcTP(t2, credit, 2)
+	n := b.Build()
+	pis, err := PInvariants(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := StructuralBounds(n, pis)
+	exactCredit, err := reach.KBound(n, n.InitialMarking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds[credit] < exactCredit || bounds[p1] < 2 {
+		t.Fatalf("structural bounds %v must dominate exact k-bound %d", bounds, exactCredit)
+	}
+	// Invariant: credit + p1 is conserved at 2 (weights 1,1).
+	if bounds[p1] != 2 || bounds[credit] != 2 {
+		t.Fatalf("bounds = %v, want [2 2]", bounds)
+	}
+}
+
+func TestStructuralBoundsOpenNet(t *testing.T) {
+	// Nets with sources have no P-invariants covering the fed places.
+	n := figures.Figure3a()
+	pis, err := PInvariants(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := StructuralBounds(n, pis)
+	for p, bd := range bounds {
+		if bd != Unbounded {
+			t.Fatalf("place %s has structural bound %d in an open net",
+				n.PlaceName(petri.Place(p)), bd)
+		}
+	}
+	if StructurallyBounded(n, pis) {
+		t.Fatal("open net cannot be structurally bounded")
+	}
+}
+
+// Property: structural bounds are sound — no reachable marking of a
+// bounded closed net exceeds them.
+func TestStructuralBoundsSound(t *testing.T) {
+	b := petri.NewBuilder("two")
+	p := b.MarkedPlace("p", 2)
+	q := b.Place("q")
+	r := b.MarkedPlace("r", 1)
+	s := b.Place("s")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	t4 := b.Transition("t4")
+	b.Chain(p, t1, q, t2, p)
+	b.Chain(r, t3, s, t4, r)
+	n := b.Build()
+	pis, err := PInvariants(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := StructuralBounds(n, pis)
+	g, err := reach.BuildGraph(n, n.InitialMarking(), reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range g.Markings {
+		for pl, k := range m {
+			if bounds[pl] != Unbounded && k > bounds[pl] {
+				t.Fatalf("marking %v exceeds structural bound %v", m, bounds)
+			}
+		}
+	}
+}
+
+func TestRankTheoremMarkedGraphCycle(t *testing.T) {
+	// A connected marked-graph cycle is the canonical well-formed FC net.
+	b := petri.NewBuilder("wf")
+	p := b.MarkedPlace("p", 1)
+	q := b.Place("q")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	b.Chain(p, t1, q, t2, p)
+	rep, err := RankTheoremFC(b.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 clusters ({t1},{t2}), rank(D) = 1, consistent, conservative.
+	if !rep.WellFormed || rep.Rank != 1 || rep.Clusters != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRankTheoremOpenNet(t *testing.T) {
+	rep, err := RankTheoremFC(figures.Figure3a(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WellFormed {
+		t.Fatal("open nets are never well-formed")
+	}
+	if rep.Conservative {
+		t.Fatal("open nets are not conservative")
+	}
+	if !rep.Consistent {
+		t.Fatal("figure 3a is consistent")
+	}
+}
+
+func TestRankTheoremChoiceCycle(t *testing.T) {
+	// Free-choice state machine: idle -> (work|skip) -> idle, 1 token.
+	// Clusters: {poll}? No: the SM has choice at 'decide'. Build:
+	b := petri.NewBuilder("sm")
+	idle := b.MarkedPlace("idle", 1)
+	decide := b.Place("decide")
+	poll := b.Transition("poll")
+	work := b.Transition("work")
+	skip := b.Transition("skip")
+	b.Chain(idle, poll, decide)
+	b.Arc(decide, work)
+	b.Arc(decide, skip)
+	b.ArcTP(work, idle)
+	b.ArcTP(skip, idle)
+	rep, err := RankTheoremFC(b.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clusters: {poll}, {work,skip} → 2; rank(D) must be 1.
+	if !rep.WellFormed {
+		t.Fatalf("choice cycle must be well-formed: %+v", rep)
+	}
+}

@@ -1,0 +1,36 @@
+package linalg
+
+import "testing"
+
+// chainSystem builds the balance equations of a k-stage multirate chain.
+func chainSystem(k int) *Mat {
+	rows := make([][]int, k)
+	for i := range rows {
+		rows[i] = make([]int, k+1)
+		rows[i][i] = 2
+		rows[i][i+1] = -3
+	}
+	m, err := MatFromInts(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func BenchmarkMinimalSemiflowsChain(b *testing.B) {
+	a := chainSystem(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := MinimalSemiflows(a, 0); !ok {
+			b.Fatal("cap hit")
+		}
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	a := chainSystem(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rank(a)
+	}
+}

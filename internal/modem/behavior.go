@@ -1,0 +1,141 @@
+package modem
+
+import (
+	"fcpn/internal/codegen"
+	"fcpn/internal/petri"
+)
+
+// Line is the executable semantics of the modem: a synthetic telephone
+// line with carrier drop-outs, an AGC/equaliser state machine, and a host
+// issuing commands. It resolves the FCPN's choices from that state.
+type Line struct {
+	model *Model
+
+	// Synthetic line state.
+	sampleIdx  int
+	carrierOn  bool
+	gain       int
+	eqQuality  int // 0–100; slicing succeeds while above the slip threshold
+	rate       int
+	cmdCounter int
+
+	Stats LineStats
+}
+
+// LineStats counts observable outcomes.
+type LineStats struct {
+	Samples, IdleSamples  int
+	BitsEmitted, Resyncs  int
+	Commands, RateChanges int
+	Resets, Queries       int
+	LineEvents            int
+}
+
+// CarrierPeriod shapes the synthetic line: the carrier is present for
+// CarrierOnSamples out of every CarrierPeriod samples.
+const (
+	CarrierPeriod    = 32
+	CarrierOnSamples = 24
+)
+
+// NewLine builds the behaviour for a model.
+func NewLine(m *Model) *Line {
+	return &Line{model: m, gain: 50, eqQuality: 90, rate: 9600}
+}
+
+// BeginSample advances the synthetic line by one ADC sample; call before
+// each Sample event.
+func (l *Line) BeginSample() {
+	l.sampleIdx++
+	l.carrierOn = l.sampleIdx%CarrierPeriod < CarrierOnSamples
+	l.Stats.Samples++
+}
+
+// BeginCmd presents the next host command; call before each Cmd event.
+// Commands rotate deterministically: rate, query, reset, query, …
+func (l *Line) BeginCmd() {
+	l.cmdCounter++
+	l.Stats.Commands++
+}
+
+// Resolver maps the model's choice places to the line state.
+func (l *Line) Resolver() codegen.ChoiceResolver {
+	n := l.model.Net
+	return func(p petri.Place, alts []petri.Transition) int {
+		pick := func(target string) int {
+			for i, t := range alts {
+				if n.TransitionName(t) == target {
+					return i
+				}
+			}
+			return -1
+		}
+		switch n.PlaceName(p) {
+		case "carrier":
+			if l.carrierOn {
+				return pick("carrier_on")
+			}
+			return pick("carrier_off")
+		case "sync":
+			// The equaliser slips when quality decays below threshold;
+			// each slip triggers a resync that restores it.
+			if l.eqQuality >= 40 {
+				return pick("sync_locked")
+			}
+			return pick("sync_slip")
+		case "cmd_kind":
+			switch l.cmdCounter % 4 {
+			case 1:
+				return pick("cmd_kind_rate")
+			case 3:
+				return pick("cmd_kind_reset")
+			default:
+				return pick("cmd_kind_query")
+			}
+		default:
+			return 0
+		}
+	}
+}
+
+// OnFire updates the line state as the generated code executes.
+func (l *Line) OnFire(t petri.Transition) {
+	switch l.model.Net.TransitionName(t) {
+	case "agc":
+		// Gain adapts toward mid-scale; carrier gaps decay EQ quality.
+		if l.carrierOn && l.gain < 64 {
+			l.gain++
+		} else if !l.carrierOn && l.gain > 32 {
+			l.gain--
+		}
+	case "eq_tap":
+		// Each tap pass slightly degrades quality until a resync.
+		if l.eqQuality > 0 {
+			l.eqQuality -= 3
+		}
+	case "emit_bit":
+		l.Stats.BitsEmitted++
+	case "resync":
+		l.Stats.Resyncs++
+		l.eqQuality = 90
+	case "idle_update":
+		l.Stats.IdleSamples++
+	case "set_rate":
+		l.Stats.RateChanges++
+		if l.rate == 9600 {
+			l.rate = 14400
+		} else {
+			l.rate = 9600
+		}
+	case "reset_eq":
+		l.Stats.Resets++
+		l.eqQuality = 90
+	case "report":
+		l.Stats.Queries++
+	case "update_line_stats":
+		l.Stats.LineEvents++
+	}
+}
+
+// Rate reports the current line rate (for assertions).
+func (l *Line) Rate() int { return l.rate }

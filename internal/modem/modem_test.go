@@ -1,0 +1,124 @@
+package modem
+
+import (
+	"testing"
+
+	"fcpn/internal/core"
+	"fcpn/internal/rtos"
+)
+
+func TestModelCompiles(t *testing.T) {
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Net
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.SourceTransitions()); got != 2 {
+		t.Fatalf("sources = %d", got)
+	}
+	if got := len(n.FreeChoiceSets()); got != 3 {
+		t.Fatalf("choices = %d, want 3 (carrier, sync, cmd_kind)", got)
+	}
+}
+
+func TestModelSchedulesToTwoTasks(t *testing.T) {
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.Solve(m.Net, core.Options{})
+	if err != nil {
+		t.Fatalf("modem must be schedulable: %v", err)
+	}
+	// Cell path outcomes: carrier off, carrier on × (locked | slip) = 3;
+	// cmd path outcomes: rate | reset | query = 3 ⇒ 9 distinct reductions.
+	if len(sched.Cycles) != 9 {
+		t.Fatalf("cycles = %d, want 9", len(sched.Cycles))
+	}
+	tp, err := core.PartitionTasks(m.Net, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumTasks() != 2 {
+		t.Fatalf("tasks = %d, want 2 (Sample, Cmd)", tp.NumTasks())
+	}
+	// The shared logger transition belongs to both tasks.
+	shared := tp.SharedTransitions()
+	found := false
+	for _, tr := range shared {
+		if m.Net.TransitionName(tr) == "update_line_stats" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("update_line_stats must be shared, got %v", m.Net.SequenceNames(shared))
+	}
+}
+
+func TestModulesCoverNet(t *testing.T) {
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, mod := range m.Modules() {
+		if len(mod.Transitions) == 0 {
+			t.Fatalf("module %s empty", mod.Name)
+		}
+		total += len(mod.Transitions)
+	}
+	if total != m.Net.NumTransitions() {
+		t.Fatalf("modules cover %d of %d", total, m.Net.NumTransitions())
+	}
+}
+
+func TestComparisonShape(t *testing.T) {
+	res, err := RunComparison(DefaultWorkload(), rtos.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QSS.Tasks != 2 || res.Functional.Tasks != 3 {
+		t.Fatalf("tasks = %d vs %d", res.QSS.Tasks, res.Functional.Tasks)
+	}
+	if res.QSS.ClockCycles >= res.Functional.ClockCycles {
+		t.Fatalf("QSS cycles %d must beat functional %d",
+			res.QSS.ClockCycles, res.Functional.ClockCycles)
+	}
+	if res.QSS.Activations >= res.Functional.Activations {
+		t.Fatal("QSS must need fewer activations")
+	}
+	// Behaviour sanity: the line processed samples, emitted bits, and the
+	// deterministic command mix was handled.
+	st := res.Stats
+	if st.Samples != 200 || st.Commands != 12 {
+		t.Fatalf("workload not delivered: %+v", st)
+	}
+	if st.BitsEmitted == 0 || st.IdleSamples == 0 || st.Resyncs == 0 {
+		t.Fatalf("line behaviour degenerate: %+v", st)
+	}
+	if st.RateChanges == 0 || st.Queries == 0 || st.Resets == 0 {
+		t.Fatalf("command mix not exercised: %+v", st)
+	}
+	// Line events reach the shared logger from both paths.
+	if st.LineEvents != st.BitsEmitted+st.Resyncs+st.RateChanges {
+		t.Fatalf("logger missed events: %d != %d+%d+%d",
+			st.LineEvents, st.BitsEmitted, st.Resyncs, st.RateChanges)
+	}
+}
+
+func TestBehaviourDeterminism(t *testing.T) {
+	a, err := RunComparison(DefaultWorkload(), rtos.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunComparison(DefaultWorkload(), rtos.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.QSS.ClockCycles != b.QSS.ClockCycles || a.Stats != b.Stats {
+		t.Fatal("comparison not deterministic")
+	}
+}

@@ -1,0 +1,81 @@
+package petri
+
+import "testing"
+
+// benchNet is a 30-stage chain with scattered tokens.
+func benchNet() *Net {
+	b := NewBuilder("bench")
+	prev := b.Transition("t0")
+	for i := 1; i <= 30; i++ {
+		p := b.MarkedPlace(sprintName("p", i), i%3)
+		next := b.Transition(sprintName("t", i))
+		b.Chain(prev, p, next)
+		prev = next
+	}
+	return b.Build()
+}
+
+func sprintName(prefix string, i int) string {
+	buf := []byte(prefix)
+	if i == 0 {
+		return string(append(buf, '0'))
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(append(buf, digits...))
+}
+
+func BenchmarkEnabled(b *testing.B) {
+	n := benchNet()
+	m := n.InitialMarking()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+			n.Enabled(m, t)
+		}
+	}
+}
+
+func BenchmarkFireCycle(b *testing.B) {
+	n := benchNet()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := n.InitialMarking()
+		for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+			if n.Enabled(m, t) {
+				n.MustFire(m, t)
+			}
+		}
+	}
+}
+
+func BenchmarkMarkingKey(b *testing.B) {
+	n := benchNet()
+	m := n.InitialMarking()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Key()
+	}
+}
+
+func BenchmarkParseFormat(b *testing.B) {
+	text := Format(benchNet())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n, err := ParseString(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = Format(n)
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	n := benchNet()
+	for i := 0; i < b.N; i++ {
+		Simplify(n)
+	}
+}

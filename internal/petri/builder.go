@@ -1,0 +1,214 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates places, transitions and arcs and then produces an
+// immutable Net. Methods panic on structural misuse (duplicate names,
+// unknown endpoints, non-positive weights): nets are built by code, not
+// from untrusted input — the text-format parser validates before calling.
+type Builder struct {
+	name       string
+	placeNames []string
+	transNames []string
+	placeIndex map[string]Place
+	transIndex map[string]Transition
+	preArcs    map[Transition]map[Place]int
+	postArcs   map[Transition]map[Place]int
+	marking    map[Place]int
+}
+
+// NewBuilder creates a Builder for a net with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:       name,
+		placeIndex: make(map[string]Place),
+		transIndex: make(map[string]Transition),
+		preArcs:    make(map[Transition]map[Place]int),
+		postArcs:   make(map[Transition]map[Place]int),
+		marking:    make(map[Place]int),
+	}
+}
+
+// Place adds a place with zero initial tokens and returns its handle.
+func (b *Builder) Place(name string) Place {
+	return b.MarkedPlace(name, 0)
+}
+
+// MarkedPlace adds a place carrying tokens initial tokens.
+func (b *Builder) MarkedPlace(name string, tokens int) Place {
+	if name == "" {
+		panic("petri: empty place name")
+	}
+	if _, dup := b.placeIndex[name]; dup {
+		panic(fmt.Sprintf("petri: duplicate place %q", name))
+	}
+	if _, dup := b.transIndex[name]; dup {
+		panic(fmt.Sprintf("petri: name %q already used for a transition", name))
+	}
+	if tokens < 0 {
+		panic(fmt.Sprintf("petri: negative initial marking for %q", name))
+	}
+	p := Place(len(b.placeNames))
+	b.placeNames = append(b.placeNames, name)
+	b.placeIndex[name] = p
+	if tokens > 0 {
+		b.marking[p] = tokens
+	}
+	return p
+}
+
+// Transition adds a transition and returns its handle.
+func (b *Builder) Transition(name string) Transition {
+	if name == "" {
+		panic("petri: empty transition name")
+	}
+	if _, dup := b.transIndex[name]; dup {
+		panic(fmt.Sprintf("petri: duplicate transition %q", name))
+	}
+	if _, dup := b.placeIndex[name]; dup {
+		panic(fmt.Sprintf("petri: name %q already used for a place", name))
+	}
+	t := Transition(len(b.transNames))
+	b.transNames = append(b.transNames, name)
+	b.transIndex[name] = t
+	return t
+}
+
+// Arc adds a unit-weight arc from place p to transition t.
+func (b *Builder) Arc(p Place, t Transition) { b.WeightedArc(p, t, 1) }
+
+// ArcTP adds a unit-weight arc from transition t to place p.
+func (b *Builder) ArcTP(t Transition, p Place) { b.WeightedArcTP(t, p, 1) }
+
+// WeightedArc adds an arc from place p to transition t with weight w.
+// Adding an arc that already exists accumulates the weight.
+func (b *Builder) WeightedArc(p Place, t Transition, w int) {
+	b.checkPlace(p)
+	b.checkTransition(t)
+	if w <= 0 {
+		panic(fmt.Sprintf("petri: non-positive arc weight %d", w))
+	}
+	m := b.preArcs[t]
+	if m == nil {
+		m = make(map[Place]int)
+		b.preArcs[t] = m
+	}
+	m[p] += w
+}
+
+// WeightedArcTP adds an arc from transition t to place p with weight w.
+// Adding an arc that already exists accumulates the weight.
+func (b *Builder) WeightedArcTP(t Transition, p Place, w int) {
+	b.checkPlace(p)
+	b.checkTransition(t)
+	if w <= 0 {
+		panic(fmt.Sprintf("petri: non-positive arc weight %d", w))
+	}
+	m := b.postArcs[t]
+	if m == nil {
+		m = make(map[Place]int)
+		b.postArcs[t] = m
+	}
+	m[p] += w
+}
+
+// Chain is a convenience that threads a token path
+// t0 -> p0 -> t1 -> p1 -> ... with unit weights. Arguments must alternate
+// Transition, Place, Transition, ... (starting with either kind).
+func (b *Builder) Chain(nodes ...interface{}) {
+	for i := 0; i+1 < len(nodes); i++ {
+		switch from := nodes[i].(type) {
+		case Transition:
+			p, ok := nodes[i+1].(Place)
+			if !ok {
+				panic("petri: Chain expects alternating Transition/Place")
+			}
+			b.ArcTP(from, p)
+		case Place:
+			t, ok := nodes[i+1].(Transition)
+			if !ok {
+				panic("petri: Chain expects alternating Place/Transition")
+			}
+			b.Arc(from, t)
+		default:
+			panic("petri: Chain accepts only Place and Transition values")
+		}
+	}
+}
+
+// SetMarking overrides the initial marking of place p.
+func (b *Builder) SetMarking(p Place, tokens int) {
+	b.checkPlace(p)
+	if tokens < 0 {
+		panic("petri: negative marking")
+	}
+	if tokens == 0 {
+		delete(b.marking, p)
+		return
+	}
+	b.marking[p] = tokens
+}
+
+func (b *Builder) checkPlace(p Place) {
+	if p < 0 || int(p) >= len(b.placeNames) {
+		panic(fmt.Sprintf("petri: unknown place index %d", p))
+	}
+}
+
+func (b *Builder) checkTransition(t Transition) {
+	if t < 0 || int(t) >= len(b.transNames) {
+		panic(fmt.Sprintf("petri: unknown transition index %d", t))
+	}
+}
+
+// Build finalises the net. The Builder may keep being used afterwards;
+// subsequent Build calls produce independent nets.
+func (b *Builder) Build() *Net {
+	n := &Net{
+		name:       b.name,
+		placeNames: append([]string(nil), b.placeNames...),
+		transNames: append([]string(nil), b.transNames...),
+		placeIndex: make(map[string]Place, len(b.placeIndex)),
+		transIndex: make(map[string]Transition, len(b.transIndex)),
+		pre:        make([][]ArcRef, len(b.transNames)),
+		post:       make([][]ArcRef, len(b.transNames)),
+		placeIn:    make([][]TArc, len(b.placeNames)),
+		placeOut:   make([][]TArc, len(b.placeNames)),
+	}
+	for name, p := range b.placeIndex {
+		n.placeIndex[name] = p
+	}
+	for name, t := range b.transIndex {
+		n.transIndex[name] = t
+	}
+	for t := Transition(0); int(t) < len(b.transNames); t++ {
+		n.pre[t] = sortedArcRefs(b.preArcs[t])
+		n.post[t] = sortedArcRefs(b.postArcs[t])
+		for _, a := range n.pre[t] {
+			n.placeOut[a.Place] = append(n.placeOut[a.Place], TArc{t, a.Weight})
+		}
+		for _, a := range n.post[t] {
+			n.placeIn[a.Place] = append(n.placeIn[a.Place], TArc{t, a.Weight})
+		}
+	}
+	n.initialMark = NewMarking(len(b.placeNames))
+	for p, k := range b.marking {
+		n.initialMark[p] = k
+	}
+	return n
+}
+
+func sortedArcRefs(m map[Place]int) []ArcRef {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]ArcRef, 0, len(m))
+	for p, w := range m {
+		out = append(out, ArcRef{p, w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Place < out[j].Place })
+	return out
+}

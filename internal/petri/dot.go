@@ -1,0 +1,44 @@
+package petri
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the net in Graphviz dot syntax: places as circles (labelled
+// with their token count when marked), transitions as boxes, arc weights
+// as edge labels when greater than one.
+func (n *Net) DOT() string {
+	var sb strings.Builder
+	name := n.name
+	if name == "" {
+		name = "net"
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", name)
+	init := n.initialMark
+	for p := 0; p < n.NumPlaces(); p++ {
+		label := n.placeNames[p]
+		if len(init) == n.NumPlaces() && init[p] > 0 {
+			label = fmt.Sprintf("%s\\n●%d", n.placeNames[p], init[p])
+		}
+		fmt.Fprintf(&sb, "  %q [shape=circle, label=%q];\n", "p_"+n.placeNames[p], label)
+	}
+	for t := 0; t < n.NumTransitions(); t++ {
+		fmt.Fprintf(&sb, "  %q [shape=box, label=%q];\n", "t_"+n.transNames[t], n.transNames[t])
+	}
+	for _, a := range n.Arcs() {
+		var from, to string
+		if a.FromKind == PlaceNode {
+			from, to = "p_"+n.placeNames[a.From], "t_"+n.transNames[a.To]
+		} else {
+			from, to = "t_"+n.transNames[a.From], "p_"+n.placeNames[a.To]
+		}
+		if a.Weight > 1 {
+			fmt.Fprintf(&sb, "  %q -> %q [label=\"%d\"];\n", from, to, a.Weight)
+		} else {
+			fmt.Fprintf(&sb, "  %q -> %q;\n", from, to)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that every accepted
+// document round-trips through Format. Run the corpus in normal test
+// runs; run with -fuzz=FuzzParse for coverage-guided exploration.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"net x\n",
+		"place p\ntrans t\narc p -> t\n",
+		"place p 3\ntrans t\narc t -> p * 2\n",
+		"# comment only\n",
+		"net a\nplace p\nplace q\ntrans t\narc p -> t -> q\n",
+		"arc nope -> nope\n",
+		"place p\nplace p\n",
+		"trans t\narc t -> t\n",
+		"place p -1\n",
+		"net x\nnet y\n",
+		"place p\ntrans t\narc p -> t * 0\n",
+		strings.Repeat("place p", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := ParseString(doc)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted documents must round-trip.
+		text := Format(n)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("Format output unparseable: %v\n%s", err, text)
+		}
+		if back.NumPlaces() != n.NumPlaces() || back.NumTransitions() != n.NumTransitions() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				n.NumPlaces(), n.NumTransitions(), back.NumPlaces(), back.NumTransitions())
+		}
+		if len(back.Arcs()) != len(n.Arcs()) {
+			t.Fatal("round trip changed arcs")
+		}
+		if !back.InitialMarking().Equal(n.InitialMarking()) {
+			t.Fatal("round trip changed marking")
+		}
+	})
+}
+
+// FuzzFiring checks the firing rule against arbitrary small nets driven
+// by arbitrary firing scripts: no panic, markings stay non-negative, and
+// Fire errors exactly when Enabled is false.
+func FuzzFiring(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2})
+	f.Add(int64(42), []byte{5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		n := randomNet(seed)
+		if n.NumTransitions() == 0 {
+			return
+		}
+		m := n.InitialMarking()
+		for _, b := range script {
+			tr := Transition(int(b) % n.NumTransitions())
+			enabled := n.Enabled(m, tr)
+			err := n.Fire(m, tr)
+			if enabled && err != nil {
+				t.Fatalf("enabled transition failed to fire: %v", err)
+			}
+			if !enabled && err == nil {
+				t.Fatal("disabled transition fired")
+			}
+			for p, k := range m {
+				if k < 0 {
+					t.Fatalf("negative marking at place %d: %v", p, m)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package petri
+
+// PreMatrix returns the |T|×|P| input matrix: entry [t][p] = F(p,t).
+func (n *Net) PreMatrix() [][]int {
+	m := make([][]int, n.NumTransitions())
+	for t := range m {
+		row := make([]int, n.NumPlaces())
+		for _, a := range n.pre[t] {
+			row[a.Place] = a.Weight
+		}
+		m[t] = row
+	}
+	return m
+}
+
+// PostMatrix returns the |T|×|P| output matrix: entry [t][p] = F(t,p).
+func (n *Net) PostMatrix() [][]int {
+	m := make([][]int, n.NumTransitions())
+	for t := range m {
+		row := make([]int, n.NumPlaces())
+		for _, a := range n.post[t] {
+			row[a.Place] = a.Weight
+		}
+		m[t] = row
+	}
+	return m
+}
+
+// IncidenceMatrix returns the |T|×|P| incidence matrix D = Post − Pre.
+// Row t is the marking change produced by one firing of transition t, so a
+// firing-count vector f satisfies the state equation μ' = μ + fᵀ·D, and a
+// T-invariant is an f ≥ 0 with fᵀ·D = 0.
+func (n *Net) IncidenceMatrix() [][]int {
+	m := make([][]int, n.NumTransitions())
+	for t := range m {
+		row := make([]int, n.NumPlaces())
+		for _, a := range n.post[t] {
+			row[a.Place] += a.Weight
+		}
+		for _, a := range n.pre[t] {
+			row[a.Place] -= a.Weight
+		}
+		m[t] = row
+	}
+	return m
+}
+
+// ApplyFiringVector computes μ + fᵀ·D without simulating an order. The
+// result can be negative in intermediate theory contexts; callers that need
+// realisability must simulate.
+func (n *Net) ApplyFiringVector(m Marking, f []int) Marking {
+	out := m.Clone()
+	for t := 0; t < n.NumTransitions(); t++ {
+		if f[t] == 0 {
+			continue
+		}
+		for _, a := range n.post[t] {
+			out[a.Place] += a.Weight * f[t]
+		}
+		for _, a := range n.pre[t] {
+			out[a.Place] -= a.Weight * f[t]
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package petri
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Marking is the token count vector μ, indexed by Place.
+type Marking []int
+
+// NewMarking returns the zero marking over n places.
+func NewMarking(n int) Marking { return make(Marking, n) }
+
+// Clone returns an independent copy of m.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Equal reports whether m and o mark every place identically.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether m ≥ o componentwise.
+func (m Marking) Covers(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Total reports the total number of tokens in the marking.
+func (m Marking) Total() int {
+	sum := 0
+	for _, k := range m {
+		sum += k
+	}
+	return sum
+}
+
+// Key returns a compact string usable as a map key for visited-set
+// bookkeeping in state-space exploration.
+func (m Marking) Key() string {
+	var sb strings.Builder
+	for i, k := range m {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", k)
+	}
+	return sb.String()
+}
+
+// String renders the marking as (k0, k1, …).
+func (m Marking) String() string { return "(" + m.Key() + ")" }
+
+// Enabled reports whether transition t is enabled at marking m in net n:
+// every input place p holds at least F(p,t) tokens. Source transitions are
+// always enabled.
+func (n *Net) Enabled(m Marking, t Transition) bool {
+	for _, a := range n.pre[t] {
+		if m[a.Place] < a.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledTransitions returns all transitions enabled at m, in index order.
+func (n *Net) EnabledTransitions(m Marking) []Transition {
+	var out []Transition
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if n.Enabled(m, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Fire fires transition t at marking m in place, consuming F(p,t) tokens
+// from each input place and producing F(t,p) tokens in each output place.
+// It returns an error and leaves m untouched when t is not enabled.
+func (n *Net) Fire(m Marking, t Transition) error {
+	if !n.Enabled(m, t) {
+		return fmt.Errorf("petri: transition %s not enabled at %s", n.transNames[t], m)
+	}
+	for _, a := range n.pre[t] {
+		m[a.Place] -= a.Weight
+	}
+	for _, a := range n.post[t] {
+		m[a.Place] += a.Weight
+	}
+	return nil
+}
+
+// MustFire fires t and panics if it is not enabled. For tests and for
+// replaying sequences already known to be fireable.
+func (n *Net) MustFire(m Marking, t Transition) {
+	if err := n.Fire(m, t); err != nil {
+		panic(err)
+	}
+}
+
+// FireSequence fires the transitions of seq in order starting from m
+// (in place). It stops at the first disabled transition, returning the
+// number of firings performed and an error describing the failure.
+func (n *Net) FireSequence(m Marking, seq []Transition) (int, error) {
+	for i, t := range seq {
+		if err := n.Fire(m, t); err != nil {
+			return i, fmt.Errorf("petri: step %d: %w", i, err)
+		}
+	}
+	return len(seq), nil
+}
+
+// Deadlocked reports whether no transition of the net is enabled at m.
+// A net with source transitions can never deadlock (sources are always
+// enabled).
+func (n *Net) Deadlocked(m Marking) bool {
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if n.Enabled(m, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SequenceNames resolves a firing sequence to transition names, useful in
+// error messages and golden tests.
+func (n *Net) SequenceNames(seq []Transition) []string {
+	out := make([]string, len(seq))
+	for i, t := range seq {
+		out[i] = n.transNames[t]
+	}
+	return out
+}
+
+// FiringCount returns the firing-count vector f(σ) of a sequence: entry i
+// is the number of occurrences of transition i in seq.
+func (n *Net) FiringCount(seq []Transition) []int {
+	f := make([]int, n.NumTransitions())
+	for _, t := range seq {
+		f[t]++
+	}
+	return f
+}

@@ -1,0 +1,197 @@
+package petri
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual net format:
+//
+//	# comment
+//	net figure3a
+//	place p1            # unmarked place
+//	place buf 2         # place with 2 initial tokens
+//	trans t1
+//	arc t1 -> p1        # direction inferred from node kinds
+//	arc p1 -> t2 * 2    # arc weight 2
+//	arc t2 -> p2 -> t4  # chains are allowed
+//
+// Nodes may also be declared implicitly by prefix: names starting with "p"
+// are NOT auto-typed; every node must be declared before use so typos fail
+// loudly. Parse returns the first error with a line number.
+func Parse(r io.Reader) (*Net, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	b := NewBuilder("")
+	named := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "net":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("petri: line %d: usage: net NAME", line)
+			}
+			if named {
+				return nil, fmt.Errorf("petri: line %d: duplicate net directive", line)
+			}
+			named = true
+			b.name = fields[1]
+		case "place":
+			if len(fields) != 2 && len(fields) != 3 {
+				return nil, fmt.Errorf("petri: line %d: usage: place NAME [TOKENS]", line)
+			}
+			tokens := 0
+			if len(fields) == 3 {
+				v, err := strconv.Atoi(fields[2])
+				if err != nil || v < 0 {
+					return nil, fmt.Errorf("petri: line %d: bad token count %q", line, fields[2])
+				}
+				tokens = v
+			}
+			if err := checkFresh(b, fields[1]); err != nil {
+				return nil, fmt.Errorf("petri: line %d: %w", line, err)
+			}
+			b.MarkedPlace(fields[1], tokens)
+		case "trans", "transition":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("petri: line %d: usage: trans NAME", line)
+			}
+			if err := checkFresh(b, fields[1]); err != nil {
+				return nil, fmt.Errorf("petri: line %d: %w", line, err)
+			}
+			b.Transition(fields[1])
+		case "arc":
+			if err := parseArcChain(b, fields[1:]); err != nil {
+				return nil, fmt.Errorf("petri: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("petri: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("petri: read: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*Net, error) { return Parse(strings.NewReader(s)) }
+
+func checkFresh(b *Builder, name string) error {
+	if _, dup := b.placeIndex[name]; dup {
+		return fmt.Errorf("duplicate node %q", name)
+	}
+	if _, dup := b.transIndex[name]; dup {
+		return fmt.Errorf("duplicate node %q", name)
+	}
+	return nil
+}
+
+// parseArcChain handles "A -> B [* W] [-> C [* W] ...]".
+func parseArcChain(b *Builder, fields []string) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("usage: arc FROM -> TO [* WEIGHT] [-> NEXT ...]")
+	}
+	cur := fields[0]
+	i := 1
+	for i < len(fields) {
+		if fields[i] != "->" {
+			return fmt.Errorf("expected \"->\" at token %q", fields[i])
+		}
+		if i+1 >= len(fields) {
+			return fmt.Errorf("dangling \"->\"")
+		}
+		next := fields[i+1]
+		i += 2
+		weight := 1
+		if i < len(fields) && fields[i] == "*" {
+			if i+1 >= len(fields) {
+				return fmt.Errorf("dangling \"*\"")
+			}
+			w, err := strconv.Atoi(fields[i+1])
+			if err != nil || w <= 0 {
+				return fmt.Errorf("bad weight %q", fields[i+1])
+			}
+			weight = w
+			i += 2
+		}
+		if err := addArcByName(b, cur, next, weight); err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+func addArcByName(b *Builder, from, to string, w int) error {
+	if p, ok := b.placeIndex[from]; ok {
+		t, ok := b.transIndex[to]
+		if !ok {
+			if _, isPlace := b.placeIndex[to]; isPlace {
+				return fmt.Errorf("arc %s -> %s connects two places", from, to)
+			}
+			return fmt.Errorf("unknown node %q", to)
+		}
+		b.WeightedArc(p, t, w)
+		return nil
+	}
+	if t, ok := b.transIndex[from]; ok {
+		p, ok := b.placeIndex[to]
+		if !ok {
+			if _, isTrans := b.transIndex[to]; isTrans {
+				return fmt.Errorf("arc %s -> %s connects two transitions", from, to)
+			}
+			return fmt.Errorf("unknown node %q", to)
+		}
+		b.WeightedArcTP(t, p, w)
+		return nil
+	}
+	return fmt.Errorf("unknown node %q", from)
+}
+
+// Format serialises the net in the textual format accepted by Parse. The
+// output is deterministic: places, then transitions, then arcs, each in
+// index order.
+func Format(n *Net) string {
+	var sb strings.Builder
+	if n.Name() != "" {
+		fmt.Fprintf(&sb, "net %s\n", n.Name())
+	}
+	init := n.initialMark
+	for p := 0; p < n.NumPlaces(); p++ {
+		if len(init) == n.NumPlaces() && init[p] > 0 {
+			fmt.Fprintf(&sb, "place %s %d\n", n.placeNames[p], init[p])
+		} else {
+			fmt.Fprintf(&sb, "place %s\n", n.placeNames[p])
+		}
+	}
+	for t := 0; t < n.NumTransitions(); t++ {
+		fmt.Fprintf(&sb, "trans %s\n", n.transNames[t])
+	}
+	for _, a := range n.Arcs() {
+		var from, to string
+		if a.FromKind == PlaceNode {
+			from, to = n.placeNames[a.From], n.transNames[a.To]
+		} else {
+			from, to = n.transNames[a.From], n.placeNames[a.To]
+		}
+		if a.Weight > 1 {
+			fmt.Fprintf(&sb, "arc %s -> %s * %d\n", from, to, a.Weight)
+		} else {
+			fmt.Fprintf(&sb, "arc %s -> %s\n", from, to)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,233 @@
+package petri
+
+import "fmt"
+
+// Simplify applies Murata's classical structural reduction rules (Petri
+// nets survey [Murata 1989], Fig. 18) until no rule applies, returning the
+// reduced net and a human-readable trace of the rewrites. The implemented
+// rules preserve liveness, boundedness and safeness:
+//
+//   - FST, fusion of series transitions: p's unique producer t1 and unique
+//     consumer t2 (with p as t2's only input, unit weights) merge into one
+//     transition.
+//   - FSP, fusion of series places: a transition t with exactly one input
+//     place and one output place (unit weights, t the places' unique
+//     link) is removed, its places merged.
+//   - FPT, fusion of parallel transitions: transitions with identical
+//     presets and postsets are duplicates; one survives.
+//   - FPP, fusion of parallel places: places with identical producers,
+//     consumers and initial marking are duplicates; one survives.
+//   - ELT, elimination of self-loop transitions: a transition whose preset
+//     equals its postset (one place, unit weights) does nothing.
+//
+// Names of fused nodes are joined with '+', so reduced nets stay readable
+// in reports. Source/sink transitions and choice/merge places are left
+// untouched — exactly the structure quasi-static scheduling cares about.
+func Simplify(n *Net) (*Net, []string) {
+	var trace []string
+	for {
+		rewritten, step := simplifyOnce(n)
+		if step == "" {
+			return n, trace
+		}
+		trace = append(trace, step)
+		n = rewritten
+	}
+}
+
+// simplifyOnce applies the first applicable rule and returns the new net;
+// step is empty when nothing applies.
+func simplifyOnce(n *Net) (*Net, string) {
+	// FPT: duplicate transitions (sources excluded: they model distinct
+	// environment inputs).
+	for a := Transition(0); int(a) < n.NumTransitions(); a++ {
+		for b := a + 1; int(b) < n.NumTransitions(); b++ {
+			if sameArcRefs(n.Pre(a), n.Pre(b)) && sameArcRefs(n.Post(a), n.Post(b)) &&
+				len(n.Pre(a)) > 0 {
+				return rebuildWithout(n, map[Transition]bool{b: true}, nil, nil, nil),
+					fmt.Sprintf("FPT: drop %s (parallel to %s)", n.TransitionName(b), n.TransitionName(a))
+			}
+		}
+	}
+	// FPP: duplicate places.
+	init := n.InitialMarking()
+	for p := Place(0); int(p) < n.NumPlaces(); p++ {
+		for q := p + 1; int(q) < n.NumPlaces(); q++ {
+			if init[p] == init[q] && sameTArcs(n.Producers(p), n.Producers(q)) &&
+				sameTArcs(n.Consumers(p), n.Consumers(q)) &&
+				len(n.Producers(p))+len(n.Consumers(p)) > 0 {
+				return rebuildWithout(n, nil, map[Place]bool{q: true}, nil, nil),
+					fmt.Sprintf("FPP: drop %s (parallel to %s)", n.PlaceName(q), n.PlaceName(p))
+			}
+		}
+	}
+	// ELT: self-loop transitions, kept when they are the place's only
+	// activity (removing them would orphan the place).
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if len(n.Pre(t)) == 1 && len(n.Post(t)) == 1 &&
+			n.Pre(t)[0] == n.Post(t)[0] && n.Pre(t)[0].Weight == 1 {
+			p := n.Pre(t)[0].Place
+			if len(n.Producers(p)) < 2 && len(n.Consumers(p)) < 2 {
+				continue
+			}
+			return rebuildWithout(n, map[Transition]bool{t: true}, nil, nil, nil),
+				fmt.Sprintf("ELT: drop self-loop %s", n.TransitionName(t))
+		}
+	}
+	// FST: series transitions via an intermediate place.
+	for p := Place(0); int(p) < n.NumPlaces(); p++ {
+		prod, cons := n.Producers(p), n.Consumers(p)
+		if len(prod) != 1 || len(cons) != 1 || init[p] != 0 {
+			continue
+		}
+		t1, t2 := prod[0].Transition, cons[0].Transition
+		if t1 == t2 || prod[0].Weight != 1 || cons[0].Weight != 1 {
+			continue
+		}
+		// t2 must have p as its only input so the fusion cannot block;
+		// environment interfaces stay untouched (t1 not a source, t2 not
+		// a sink).
+		if len(n.Pre(t2)) != 1 || len(n.Pre(t1)) == 0 || len(n.Post(t2)) == 0 {
+			continue
+		}
+		fused := map[Transition]Transition{t2: t1}
+		return rebuildWithout(n, map[Transition]bool{t2: true}, map[Place]bool{p: true}, fused, nil),
+			fmt.Sprintf("FST: fuse %s·%s through %s", n.TransitionName(t1), n.TransitionName(t2), n.PlaceName(p))
+	}
+	// FSP: series places via an intermediate transition.
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if len(n.Pre(t)) != 1 || len(n.Post(t)) != 1 {
+			continue
+		}
+		in, out := n.Pre(t)[0], n.Post(t)[0]
+		if in.Weight != 1 || out.Weight != 1 || in.Place == out.Place {
+			continue
+		}
+		// The output place must have t as its only producer so merging
+		// cannot create new token sources, the input place must have t as
+		// its only consumer so no choice is destroyed, and both places
+		// must stay connected to the rest of the net (no environment
+		// buffers are fused away).
+		if len(n.Producers(out.Place)) != 1 || len(n.Consumers(in.Place)) != 1 {
+			continue
+		}
+		if len(n.Producers(in.Place)) == 0 || len(n.Consumers(out.Place)) == 0 {
+			continue
+		}
+		fusedP := map[Place]Place{out.Place: in.Place}
+		return rebuildWithout(n, map[Transition]bool{t: true}, map[Place]bool{out.Place: true}, nil, fusedP),
+			fmt.Sprintf("FSP: fuse %s·%s through %s", n.PlaceName(in.Place), n.PlaceName(out.Place), n.TransitionName(t))
+	}
+	return n, ""
+}
+
+// rebuildWithout reconstructs the net dropping the given nodes; fusedT
+// redirects a dropped transition's arcs onto its fusion partner, fusedP
+// likewise for places. Names of fusion partners are joined.
+func rebuildWithout(n *Net, dropT map[Transition]bool, dropP map[Place]bool,
+	fusedT map[Transition]Transition, fusedP map[Place]Place) *Net {
+	b := NewBuilder(n.Name())
+	init := n.InitialMarking()
+
+	placeName := make([]string, n.NumPlaces())
+	for p := Place(0); int(p) < n.NumPlaces(); p++ {
+		placeName[p] = n.PlaceName(p)
+	}
+	transName := make([]string, n.NumTransitions())
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		transName[t] = n.TransitionName(t)
+	}
+	for old, into := range fusedP {
+		placeName[into] = placeName[into] + "+" + placeName[old]
+	}
+	for old, into := range fusedT {
+		transName[into] = transName[into] + "+" + transName[old]
+	}
+
+	newP := make([]Place, n.NumPlaces())
+	for p := Place(0); int(p) < n.NumPlaces(); p++ {
+		if dropP[p] {
+			continue
+		}
+		tokens := init[p]
+		// A fused-away place's tokens move to its partner.
+		for old, into := range fusedP {
+			if into == p {
+				tokens += init[old]
+			}
+		}
+		newP[p] = b.MarkedPlace(placeName[p], tokens)
+	}
+	mapPlace := func(p Place) Place {
+		if into, ok := fusedP[p]; ok {
+			p = into
+		}
+		return newP[p]
+	}
+
+	newT := make([]Transition, n.NumTransitions())
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if dropT[t] {
+			continue
+		}
+		newT[t] = b.Transition(transName[t])
+	}
+	// keepArc reports whether an arc endpoint place survives (directly or
+	// through fusion).
+	keepArc := func(p Place) bool {
+		if !dropP[p] {
+			return true
+		}
+		_, fused := fusedP[p]
+		return fused
+	}
+	addArcs := func(from Transition, into Transition) {
+		for _, a := range n.Pre(from) {
+			if keepArc(a.Place) {
+				b.WeightedArc(mapPlace(a.Place), newT[into], a.Weight)
+			}
+		}
+		for _, a := range n.Post(from) {
+			if keepArc(a.Place) {
+				b.WeightedArcTP(newT[into], mapPlace(a.Place), a.Weight)
+			}
+		}
+	}
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if dropT[t] {
+			continue
+		}
+		addArcs(t, t)
+	}
+	// Arcs of fused-away transitions attach to their partners; the
+	// dropped intermediate place's arcs vanish with it (FST drops the
+	// place without a fusion target).
+	for old, into := range fusedT {
+		addArcs(old, into)
+	}
+	return b.Build()
+}
+
+func sameArcRefs(a, b []ArcRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTArcs(a, b []TArc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimplifySeriesTransitions(t *testing.T) {
+	// src -> p1 -> a -> p2 -> b -> p3 -> sinkt : a·b fuse through p2
+	// (p1 and p3 survive: src/sink transitions stay untouched).
+	b := NewBuilder("chain")
+	src := b.Transition("src")
+	a := b.Transition("a")
+	c := b.Transition("b")
+	p1 := b.Place("p1")
+	p2 := b.Place("p2")
+	p3 := b.Place("p3")
+	b.Chain(src, p1, a, p2, c, p3)
+	n := b.Build()
+	red, trace := Simplify(n)
+	if len(trace) == 0 {
+		t.Fatal("no rewrites applied")
+	}
+	joined := strings.Join(trace, "; ")
+	if !strings.Contains(joined, "FST") {
+		t.Fatalf("expected FST in trace: %v", trace)
+	}
+	// a and b fused: transition count drops by 1, p2 gone.
+	if red.NumTransitions() != n.NumTransitions()-1 {
+		t.Fatalf("transitions = %d", red.NumTransitions())
+	}
+	if _, ok := red.PlaceByName("p2"); ok {
+		t.Fatal("p2 must be removed")
+	}
+	if _, ok := red.TransitionByName("a+b"); !ok {
+		t.Fatalf("fused transition missing: %s", red)
+	}
+}
+
+func TestSimplifyParallelDuplicates(t *testing.T) {
+	// Two identical transitions between the same places.
+	b := NewBuilder("par")
+	p := b.MarkedPlace("p", 1)
+	q := b.Place("q")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	b.Chain(p, t1, q)
+	b.Chain(p, t2, q)
+	back := b.Transition("back")
+	b.Chain(q, back, p)
+	n := b.Build()
+	red, trace := Simplify(n)
+	if !strings.Contains(strings.Join(trace, ";"), "FPT") {
+		t.Fatalf("expected FPT: %v", trace)
+	}
+	if red.NumTransitions() >= n.NumTransitions() {
+		t.Fatal("duplicate transition not removed")
+	}
+
+	// Two identical places between the same transitions.
+	b2 := NewBuilder("parp")
+	t3 := b2.Transition("t3")
+	t4 := b2.Transition("t4")
+	pa := b2.Place("pa")
+	pb := b2.Place("pb")
+	b2.Chain(t3, pa, t4)
+	b2.Chain(t3, pb, t4)
+	n2 := b2.Build()
+	red2, trace2 := Simplify(n2)
+	if !strings.Contains(strings.Join(trace2, ";"), "FPP") {
+		t.Fatalf("expected FPP: %v", trace2)
+	}
+	if red2.NumPlaces() >= n2.NumPlaces() {
+		t.Fatal("duplicate place not removed")
+	}
+}
+
+func TestSimplifySelfLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	p := b.MarkedPlace("p", 1)
+	noop := b.Transition("noop")
+	b.Arc(p, noop)
+	b.ArcTP(noop, p)
+	worker := b.Transition("worker")
+	q := b.Place("q")
+	b.Chain(p, worker, q)
+	n := b.Build()
+	red, trace := Simplify(n)
+	if !strings.Contains(strings.Join(trace, ";"), "ELT") {
+		t.Fatalf("expected ELT: %v", trace)
+	}
+	if _, ok := red.TransitionByName("noop"); ok {
+		t.Fatal("self-loop transition not removed")
+	}
+	if _, ok := red.TransitionByName("worker"); !ok {
+		t.Fatal("worker must survive")
+	}
+}
+
+func TestSimplifyPreservesChoices(t *testing.T) {
+	// Figure-3a shape: the choice structure must survive untouched except
+	// for series fusion inside the branches.
+	n := buildFig3a()
+	red, _ := Simplify(n)
+	if len(red.FreeChoiceSets()) != 1 {
+		t.Fatalf("choice destroyed: %s", red)
+	}
+	if !red.IsFreeChoice() {
+		t.Fatal("free-choice property lost")
+	}
+}
+
+func TestSimplifyPreservesMarkingTotal(t *testing.T) {
+	// FSP merges places; tokens must be conserved.
+	b := NewBuilder("m")
+	t1 := b.Transition("t1")
+	mid := b.Transition("mid")
+	t2 := b.Transition("t2")
+	p1 := b.MarkedPlace("p1", 2)
+	p2 := b.MarkedPlace("p2", 1)
+	back := b.Place("back")
+	b.Chain(p1, mid, p2, t2, back, t1, p1)
+	n := b.Build()
+	before := n.InitialMarking().Total()
+	red, trace := Simplify(n)
+	if red.InitialMarking().Total() != before {
+		t.Fatalf("tokens lost: %d -> %d (trace %v)", before, red.InitialMarking().Total(), trace)
+	}
+}
+
+func TestSimplifyFixpoint(t *testing.T) {
+	// A long series chain collapses fully; re-simplifying is a no-op.
+	b := NewBuilder("long")
+	src := b.Transition("src")
+	prev := src
+	for i := 0; i < 6; i++ {
+		p := b.Place(placeName(i))
+		next := b.Transition(transName(i))
+		b.Chain(prev, p, next)
+		prev = next
+	}
+	n := b.Build()
+	red, trace := Simplify(n)
+	if len(trace) < 4 {
+		t.Fatalf("expected several fusions, got %v", trace)
+	}
+	again, trace2 := Simplify(red)
+	if len(trace2) != 0 {
+		t.Fatalf("not a fixpoint: %v", trace2)
+	}
+	if again.NumTransitions() != red.NumTransitions() {
+		t.Fatal("fixpoint changed net")
+	}
+}
+
+func TestSimplifyBoundedCyclePreservesBehaviour(t *testing.T) {
+	// On a closed net, liveness-preserving rules must keep the net live
+	// and 1-bounded: t1 -> p -> t2 -> q -> t3 -> r -> t1 with one token
+	// collapses to a smaller cycle that still circulates.
+	b := NewBuilder("ring")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	p := b.MarkedPlace("p", 1)
+	q := b.Place("q")
+	r := b.Place("r")
+	b.Chain(t1, p, t2, q, t3, r, t1)
+	n := b.Build()
+	red, _ := Simplify(n)
+	if red.NumTransitions() == 0 || red.NumPlaces() == 0 {
+		t.Fatalf("over-reduced: %s", red)
+	}
+	if red.InitialMarking().Total() != 1 {
+		t.Fatalf("token lost: %v", red.InitialMarking())
+	}
+	// The reduced ring must still be able to fire forever: check one lap.
+	m := red.InitialMarking()
+	for i := 0; i < 2*red.NumTransitions(); i++ {
+		fired := false
+		for tr := Transition(0); int(tr) < red.NumTransitions(); tr++ {
+			if red.Enabled(m, tr) {
+				red.MustFire(m, tr)
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			t.Fatalf("reduced ring deadlocked: %s at %v", red, m)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package petri
+
+import "sort"
+
+// Subnet is a net induced by a subset of a parent net's nodes, together
+// with the index maps back to the parent. The QSS reduction algorithm
+// produces T-reductions as subnets so schedules can be reported in terms of
+// the original transitions.
+type Subnet struct {
+	Net *Net
+	// ParentPlace[i] is the parent index of subnet place i.
+	ParentPlace []Place
+	// ParentTransition[i] is the parent index of subnet transition i.
+	ParentTransition []Transition
+	// placeTo / transTo map parent indices to subnet indices (-1 if dropped).
+	placeTo []int
+	transTo []int
+}
+
+// InducedSubnet builds the subnet of n induced by the given transitions and
+// places: all arcs of n between kept nodes are preserved with their
+// weights, and the initial marking is restricted to kept places. Node order
+// follows the parent's order regardless of the order of the arguments.
+func (n *Net) InducedSubnet(name string, keepT []Transition, keepP []Place) *Subnet {
+	tKeep := make([]bool, n.NumTransitions())
+	for _, t := range keepT {
+		tKeep[t] = true
+	}
+	pKeep := make([]bool, n.NumPlaces())
+	for _, p := range keepP {
+		pKeep[p] = true
+	}
+
+	b := NewBuilder(name)
+	s := &Subnet{
+		placeTo: make([]int, n.NumPlaces()),
+		transTo: make([]int, n.NumTransitions()),
+	}
+	for i := range s.placeTo {
+		s.placeTo[i] = -1
+	}
+	for i := range s.transTo {
+		s.transTo[i] = -1
+	}
+	init := n.InitialMarking()
+	for p := Place(0); int(p) < n.NumPlaces(); p++ {
+		if !pKeep[p] {
+			continue
+		}
+		sp := b.MarkedPlace(n.PlaceName(p), init[p])
+		s.placeTo[p] = int(sp)
+		s.ParentPlace = append(s.ParentPlace, p)
+	}
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if !tKeep[t] {
+			continue
+		}
+		st := b.Transition(n.TransitionName(t))
+		s.transTo[t] = int(st)
+		s.ParentTransition = append(s.ParentTransition, t)
+	}
+	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
+		if !tKeep[t] {
+			continue
+		}
+		st := Transition(s.transTo[t])
+		for _, a := range n.Pre(t) {
+			if sp := s.placeTo[a.Place]; sp >= 0 {
+				b.WeightedArc(Place(sp), st, a.Weight)
+			}
+		}
+		for _, a := range n.Post(t) {
+			if sp := s.placeTo[a.Place]; sp >= 0 {
+				b.WeightedArcTP(st, Place(sp), a.Weight)
+			}
+		}
+	}
+	s.Net = b.Build()
+	return s
+}
+
+// ToParentTransition maps a subnet transition back to the parent net.
+func (s *Subnet) ToParentTransition(t Transition) Transition { return s.ParentTransition[t] }
+
+// ToParentPlace maps a subnet place back to the parent net.
+func (s *Subnet) ToParentPlace(p Place) Place { return s.ParentPlace[p] }
+
+// FromParentTransition maps a parent transition into the subnet; ok is
+// false when the transition was dropped.
+func (s *Subnet) FromParentTransition(t Transition) (Transition, bool) {
+	i := s.transTo[t]
+	return Transition(i), i >= 0
+}
+
+// FromParentPlace maps a parent place into the subnet; ok is false when the
+// place was dropped.
+func (s *Subnet) FromParentPlace(p Place) (Place, bool) {
+	i := s.placeTo[p]
+	return Place(i), i >= 0
+}
+
+// MapSequenceToParent rewrites a firing sequence of the subnet in terms of
+// parent transitions.
+func (s *Subnet) MapSequenceToParent(seq []Transition) []Transition {
+	out := make([]Transition, len(seq))
+	for i, t := range seq {
+		out[i] = s.ParentTransition[t]
+	}
+	return out
+}
+
+// TransitionSetKey returns a canonical key identifying the subnet by its
+// parent transition set; two reductions with the same key are duplicates
+// for scheduling purposes.
+func (s *Subnet) TransitionSetKey() string {
+	ids := make([]int, len(s.ParentTransition))
+	for i, t := range s.ParentTransition {
+		ids[i] = int(t)
+	}
+	sort.Ints(ids)
+	key := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		key = appendInt(key, id)
+		key = append(key, ',')
+	}
+	return string(key)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, buf[i:]...)
+}

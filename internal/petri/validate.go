@@ -1,0 +1,72 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFreeChoice is wrapped by Validate* failures caused by a net that is
+// not free-choice.
+var ErrNotFreeChoice = errors.New("net is not free-choice")
+
+// ValidateFreeChoice verifies that the net satisfies the structural
+// assumptions of the QSS algorithm and returns a descriptive error naming
+// the first offending node otherwise.
+func (n *Net) ValidateFreeChoice() error {
+	for p := 0; p < n.NumPlaces(); p++ {
+		if len(n.placeOut[p]) <= 1 {
+			continue
+		}
+		for _, ta := range n.placeOut[p] {
+			if len(n.pre[ta.Transition]) != 1 {
+				return fmt.Errorf(
+					"petri: place %q has several consumers but consumer %q has %d input places: %w",
+					n.placeNames[p], n.transNames[ta.Transition], len(n.pre[ta.Transition]), ErrNotFreeChoice)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateChoiceUnitWeights checks that every arc out of a choice place has
+// unit weight. The paper's free-choice semantics resolves a choice by the
+// value of one token; weighted choice arcs would make "one outcome, one
+// token" ambiguous. Non-choice arcs may carry any weight (multirate).
+func (n *Net) ValidateChoiceUnitWeights() error {
+	for p := 0; p < n.NumPlaces(); p++ {
+		if len(n.placeOut[p]) <= 1 {
+			continue
+		}
+		for _, ta := range n.placeOut[p] {
+			if ta.Weight != 1 {
+				return fmt.Errorf("petri: choice place %q has arc of weight %d to %q; choice arcs must have weight 1",
+					n.placeNames[p], ta.Weight, n.transNames[ta.Transition])
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateNonEmpty checks the net has at least one place and transition,
+// matching the paper's definition (non-empty finite sets P and T).
+func (n *Net) ValidateNonEmpty() error {
+	if n.NumPlaces() == 0 {
+		return errors.New("petri: net has no places")
+	}
+	if n.NumTransitions() == 0 {
+		return errors.New("petri: net has no transitions")
+	}
+	return nil
+}
+
+// Validate runs every structural check required before quasi-static
+// scheduling.
+func (n *Net) Validate() error {
+	if err := n.ValidateNonEmpty(); err != nil {
+		return err
+	}
+	if err := n.ValidateFreeChoice(); err != nil {
+		return err
+	}
+	return n.ValidateChoiceUnitWeights()
+}

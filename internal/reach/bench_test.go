@@ -1,0 +1,65 @@
+package reach
+
+import (
+	"testing"
+
+	"fcpn/internal/petri"
+)
+
+// tokenRing builds a marked ring with k stages and 2 tokens: a state space
+// of Θ(k²) markings.
+func tokenRing(k int) *petri.Net {
+	b := petri.NewBuilder("ring")
+	first := b.MarkedPlace("p0", 2)
+	prev := first
+	for i := 1; i <= k; i++ {
+		t := b.Transition(tn("t", i))
+		if i == k {
+			b.Chain(prev, t, first)
+		} else {
+			p := b.Place(tn("p", i))
+			b.Chain(prev, t, p)
+			prev = p
+		}
+	}
+	return b.Build()
+}
+
+func tn(prefix string, i int) string {
+	var digits []byte
+	if i == 0 {
+		digits = []byte{'0'}
+	}
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return prefix + string(digits)
+}
+
+func BenchmarkReachabilityGraph(b *testing.B) {
+	n := tokenRing(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGraph(n, n.InitialMarking(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKarpMiller(b *testing.B) {
+	n := tokenRing(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildCoverabilityTree(n, n.InitialMarking(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalSiphons(b *testing.B) {
+	n := tokenRing(8)
+	for i := 0; i < b.N; i++ {
+		MinimalSiphons(n, 0)
+	}
+}

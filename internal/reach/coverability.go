@@ -1,0 +1,195 @@
+package reach
+
+import (
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// Omega is the ω token count of the Karp–Miller construction: "unboundedly
+// many". Any count at or above this sentinel behaves as ω.
+const Omega = int(^uint(0) >> 2) // large enough to never be reached by real nets
+
+// CoverabilityNode is one node of the Karp–Miller tree, with ω entries
+// represented by the Omega sentinel.
+type CoverabilityNode struct {
+	Marking petri.Marking
+	Parent  int // -1 for the root
+	Via     petri.Transition
+}
+
+// CoverabilityTree is the Karp–Miller tree of (n, m0). It is finite for
+// every net and decides boundedness exactly: the net is unbounded iff some
+// node contains an ω.
+type CoverabilityTree struct {
+	Nodes []CoverabilityNode
+}
+
+// Bounded reports whether no node contains ω.
+func (ct *CoverabilityTree) Bounded() bool {
+	for _, nd := range ct.Nodes {
+		for _, k := range nd.Marking {
+			if k >= Omega {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UnboundedPlaces returns the places that acquire ω somewhere in the tree.
+func (ct *CoverabilityTree) UnboundedPlaces() []petri.Place {
+	unb := map[petri.Place]bool{}
+	for _, nd := range ct.Nodes {
+		for p, k := range nd.Marking {
+			if k >= Omega {
+				unb[petri.Place(p)] = true
+			}
+		}
+	}
+	var out []petri.Place
+	for p := petri.Place(0); int(p) < placesLen(ct); p++ {
+		if unb[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func placesLen(ct *CoverabilityTree) int {
+	if len(ct.Nodes) == 0 {
+		return 0
+	}
+	return len(ct.Nodes[0].Marking)
+}
+
+// Bound returns the maximum token count place p reaches in the tree, or
+// -1 when p is unbounded.
+func (ct *CoverabilityTree) Bound(p petri.Place) int {
+	max := 0
+	for _, nd := range ct.Nodes {
+		if nd.Marking[p] >= Omega {
+			return -1
+		}
+		if nd.Marking[p] > max {
+			max = nd.Marking[p]
+		}
+	}
+	return max
+}
+
+// BuildCoverabilityTree constructs the Karp–Miller tree. maxNodes caps the
+// construction defensively (the tree is always finite but can be large);
+// pass 0 for the default of 200000.
+func BuildCoverabilityTree(n *petri.Net, m0 petri.Marking, maxNodes int) (*CoverabilityTree, error) {
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	ct := &CoverabilityTree{}
+	ct.Nodes = append(ct.Nodes, CoverabilityNode{Marking: m0.Clone(), Parent: -1})
+	seen := map[string]bool{m0.Key(): true}
+
+	enabledOmega := func(m petri.Marking, t petri.Transition) bool {
+		for _, a := range n.Pre(t) {
+			if m[a.Place] < a.Weight { // ω ≥ any weight because Omega is huge
+				return false
+			}
+		}
+		return true
+	}
+	fireOmega := func(m petri.Marking, t petri.Transition) petri.Marking {
+		out := m.Clone()
+		for _, a := range n.Pre(t) {
+			if out[a.Place] < Omega {
+				out[a.Place] -= a.Weight
+			}
+		}
+		for _, a := range n.Post(t) {
+			if out[a.Place] < Omega {
+				out[a.Place] += a.Weight
+				if out[a.Place] >= Omega {
+					out[a.Place] = Omega
+				}
+			}
+		}
+		return out
+	}
+
+	for head := 0; head < len(ct.Nodes); head++ {
+		cur := ct.Nodes[head]
+		for t := petri.Transition(0); int(t) < n.NumTransitions(); t++ {
+			if !enabledOmega(cur.Marking, t) {
+				continue
+			}
+			next := fireOmega(cur.Marking, t)
+			// ω-acceleration: if an ancestor is strictly covered by next,
+			// promote the strictly larger components to ω.
+			for anc := head; anc != -1; anc = ct.Nodes[anc].Parent {
+				am := ct.Nodes[anc].Marking
+				if next.Covers(am) && !next.Equal(am) {
+					for p := range next {
+						if next[p] > am[p] {
+							next[p] = Omega
+						}
+					}
+				}
+			}
+			k := next.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			ct.Nodes = append(ct.Nodes, CoverabilityNode{Marking: next, Parent: head, Via: t})
+			if len(ct.Nodes) > maxNodes {
+				return nil, fmt.Errorf("reach: coverability tree exceeds %d nodes", maxNodes)
+			}
+		}
+	}
+	return ct, nil
+}
+
+// Boundedness decides whether (n, m0) is bounded, via Karp–Miller.
+func Boundedness(n *petri.Net, m0 petri.Marking) (bool, error) {
+	ct, err := BuildCoverabilityTree(n, m0, 0)
+	if err != nil {
+		return false, err
+	}
+	return ct.Bounded(), nil
+}
+
+// KBound returns the smallest k such that the net is k-bounded, or -1 if it
+// is unbounded.
+func KBound(n *petri.Net, m0 petri.Marking) (int, error) {
+	ct, err := BuildCoverabilityTree(n, m0, 0)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, nd := range ct.Nodes {
+		for _, k := range nd.Marking {
+			if k >= Omega {
+				return -1, nil
+			}
+			if k > max {
+				max = k
+			}
+		}
+	}
+	return max, nil
+}
+
+// Coverable reports whether some reachable marking covers target
+// (componentwise ≥), decided exactly on the Karp–Miller tree: target is
+// coverable iff some node's (possibly ω-extended) marking covers it.
+func Coverable(n *petri.Net, m0, target petri.Marking) (bool, error) {
+	ct, err := BuildCoverabilityTree(n, m0, 0)
+	if err != nil {
+		return false, err
+	}
+	for _, nd := range ct.Nodes {
+		if nd.Marking.Covers(target) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,188 @@
+// Package reach implements behavioural analysis of Petri nets: explicit
+// reachability graphs for bounded exploration, the Karp–Miller coverability
+// tree for exact boundedness decisions, deadlock detection, liveness on
+// bounded nets, and the siphon/trap structural analysis underlying
+// Commoner's liveness condition for free-choice nets.
+package reach
+
+import (
+	"errors"
+	"fmt"
+
+	"fcpn/internal/petri"
+)
+
+// ErrStateSpaceExceeded is returned when exploration hits the state cap.
+var ErrStateSpaceExceeded = errors.New("reach: state space exceeds configured limit")
+
+// Options bounds explicit exploration.
+type Options struct {
+	// MaxStates caps the number of distinct markings explored; 0 means the
+	// package default of 100000.
+	MaxStates int
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 100000
+	}
+	return o.MaxStates
+}
+
+// Edge is one transition firing in the reachability graph.
+type Edge struct {
+	From, To   int
+	Transition petri.Transition
+}
+
+// Graph is an explicit reachability graph: nodes are markings, edges are
+// firings. Node 0 is the initial marking.
+type Graph struct {
+	Markings []petri.Marking
+	Edges    []Edge
+	// Succ[i] lists the indices into Edges of node i's outgoing edges.
+	Succ [][]int
+}
+
+// NumStates reports the number of distinct reachable markings.
+func (g *Graph) NumStates() int { return len(g.Markings) }
+
+// DeadlockStates returns the node indices with no outgoing edges.
+func (g *Graph) DeadlockStates() []int {
+	var out []int
+	for i := range g.Markings {
+		if len(g.Succ[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BuildGraph explores the reachability set of (n, m0) breadth-first.
+// It fails with ErrStateSpaceExceeded when the net is unbounded or simply
+// too large for the cap; use Boundedness to distinguish the two.
+func BuildGraph(n *petri.Net, m0 petri.Marking, opt Options) (*Graph, error) {
+	max := opt.maxStates()
+	g := &Graph{}
+	index := map[string]int{}
+	add := func(m petri.Marking) (int, bool) {
+		k := m.Key()
+		if i, ok := index[k]; ok {
+			return i, false
+		}
+		i := len(g.Markings)
+		index[k] = i
+		g.Markings = append(g.Markings, m.Clone())
+		g.Succ = append(g.Succ, nil)
+		return i, true
+	}
+	add(m0)
+	for head := 0; head < len(g.Markings); head++ {
+		if len(g.Markings) > max {
+			return nil, fmt.Errorf("%w (> %d states)", ErrStateSpaceExceeded, max)
+		}
+		m := g.Markings[head]
+		for _, t := range n.EnabledTransitions(m) {
+			next := m.Clone()
+			n.MustFire(next, t)
+			to, fresh := add(next)
+			if fresh && len(g.Markings) > max {
+				return nil, fmt.Errorf("%w (> %d states)", ErrStateSpaceExceeded, max)
+			}
+			g.Edges = append(g.Edges, Edge{head, to, t})
+			g.Succ[head] = append(g.Succ[head], len(g.Edges)-1)
+		}
+	}
+	return g, nil
+}
+
+// Reachable reports whether target is reachable from m0, exploring at most
+// opt.MaxStates markings.
+func Reachable(n *petri.Net, m0, target petri.Marking, opt Options) (bool, error) {
+	max := opt.maxStates()
+	seen := map[string]bool{m0.Key(): true}
+	queue := []petri.Marking{m0.Clone()}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		if m.Equal(target) {
+			return true, nil
+		}
+		for _, t := range n.EnabledTransitions(m) {
+			next := m.Clone()
+			n.MustFire(next, t)
+			k := next.Key()
+			if !seen[k] {
+				seen[k] = true
+				if len(seen) > max {
+					return false, fmt.Errorf("%w (> %d states)", ErrStateSpaceExceeded, max)
+				}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false, nil
+}
+
+// HasDeadlock reports whether some reachable marking enables no transition.
+// Nets with source transitions never deadlock (a source is always enabled).
+func HasDeadlock(n *petri.Net, m0 petri.Marking, opt Options) (bool, error) {
+	if len(n.SourceTransitions()) > 0 {
+		return false, nil
+	}
+	g, err := BuildGraph(n, m0, opt)
+	if err != nil {
+		return false, err
+	}
+	return len(g.DeadlockStates()) > 0, nil
+}
+
+// Live reports whether every transition can always fire again from every
+// reachable marking (liveness). Requires a bounded net; unbounded nets
+// return ErrStateSpaceExceeded.
+//
+// A transition t is live iff from every reachable marking some marking
+// enabling t is reachable. On the finite graph this reduces to: for every
+// node v, there is a path from v to some edge labelled t. We compute, per
+// transition, the set of nodes that can reach a t-labelled edge (backward
+// closure) and check it covers all nodes.
+func Live(n *petri.Net, m0 petri.Marking, opt Options) (bool, error) {
+	g, err := BuildGraph(n, m0, opt)
+	if err != nil {
+		return false, err
+	}
+	// Build reverse adjacency.
+	rev := make([][]int, len(g.Markings))
+	for _, e := range g.Edges {
+		rev[e.To] = append(rev[e.To], e.From)
+	}
+	for t := petri.Transition(0); int(t) < n.NumTransitions(); t++ {
+		canReach := make([]bool, len(g.Markings))
+		var stack []int
+		for _, e := range g.Edges {
+			if e.Transition == t && !canReach[e.From] {
+				canReach[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+		if len(stack) == 0 {
+			return false, nil // t never fires anywhere
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range rev[v] {
+				if !canReach[u] {
+					canReach[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		for _, ok := range canReach {
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

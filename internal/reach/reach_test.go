@@ -1,0 +1,426 @@
+package reach
+
+import (
+	"errors"
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/petri"
+)
+
+// boundedCycle builds t1 -> p -> t2 -> q -> t1 with one token: a live,
+// 1-bounded marked graph.
+func boundedCycle() *petri.Net {
+	b := petri.NewBuilder("cycle")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	p := b.MarkedPlace("p", 1)
+	q := b.Place("q")
+	b.Chain(t1, p, t2, q, t1)
+	return b.Build()
+}
+
+// sourceFed builds src -> p -> t: unbounded because src fires forever.
+func sourceFed() *petri.Net {
+	b := petri.NewBuilder("src")
+	src := b.Transition("src")
+	t := b.Transition("t")
+	p := b.Place("p")
+	b.Chain(src, p, t)
+	return b.Build()
+}
+
+func TestBuildGraphCycle(t *testing.T) {
+	n := boundedCycle()
+	g, err := BuildGraph(n, n.InitialMarking(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 2 {
+		t.Fatalf("states = %d, want 2", g.NumStates())
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %d, want 2", len(g.Edges))
+	}
+	if len(g.DeadlockStates()) != 0 {
+		t.Fatal("live cycle has no deadlock")
+	}
+}
+
+func TestBuildGraphCap(t *testing.T) {
+	n := sourceFed()
+	_, err := BuildGraph(n, n.InitialMarking(), Options{MaxStates: 10})
+	if !errors.Is(err, ErrStateSpaceExceeded) {
+		t.Fatalf("err = %v, want state-space exceeded", err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	n := boundedCycle()
+	p, _ := n.PlaceByName("p")
+	q, _ := n.PlaceByName("q")
+	target := petri.NewMarking(n.NumPlaces())
+	target[q] = 1
+	ok, err := Reachable(n, n.InitialMarking(), target, Options{})
+	if err != nil || !ok {
+		t.Fatalf("reachable = %v, %v", ok, err)
+	}
+	// Two tokens are unreachable in this 1-invariant cycle.
+	target2 := petri.NewMarking(n.NumPlaces())
+	target2[p], target2[q] = 1, 1
+	ok, err = Reachable(n, n.InitialMarking(), target2, Options{})
+	if err != nil || ok {
+		t.Fatalf("two-token marking must be unreachable, got %v, %v", ok, err)
+	}
+}
+
+func TestReachableCap(t *testing.T) {
+	n := sourceFed()
+	p, _ := n.PlaceByName("p")
+	target := petri.NewMarking(n.NumPlaces())
+	target[p] = 1 << 30
+	if _, err := Reachable(n, n.InitialMarking(), target, Options{MaxStates: 5}); !errors.Is(err, ErrStateSpaceExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHasDeadlock(t *testing.T) {
+	// p -> t with empty p deadlocks immediately.
+	b := petri.NewBuilder("dead")
+	p := b.Place("p")
+	tr := b.Transition("t")
+	b.Arc(p, tr)
+	n := b.Build()
+	dead, err := HasDeadlock(n, n.InitialMarking(), Options{})
+	if err != nil || !dead {
+		t.Fatalf("dead = %v, %v", dead, err)
+	}
+	// With a source transition the net can always move.
+	n2 := sourceFed()
+	dead, err = HasDeadlock(n2, n2.InitialMarking(), Options{})
+	if err != nil || dead {
+		t.Fatalf("source-fed net cannot deadlock, got %v, %v", dead, err)
+	}
+	n3 := boundedCycle()
+	dead, err = HasDeadlock(n3, n3.InitialMarking(), Options{})
+	if err != nil || dead {
+		t.Fatalf("cycle deadlock = %v, %v", dead, err)
+	}
+}
+
+func TestLive(t *testing.T) {
+	n := boundedCycle()
+	live, err := Live(n, n.InitialMarking(), Options{})
+	if err != nil || !live {
+		t.Fatalf("cycle must be live: %v, %v", live, err)
+	}
+
+	// One-shot net: t fires once, never again.
+	b := petri.NewBuilder("oneshot")
+	p := b.MarkedPlace("p", 1)
+	tr := b.Transition("t")
+	b.Arc(p, tr)
+	n2 := b.Build()
+	live, err = Live(n2, n2.InitialMarking(), Options{})
+	if err != nil || live {
+		t.Fatalf("one-shot net must not be live: %v, %v", live, err)
+	}
+
+	// Net where a transition never fires at all.
+	b2 := petri.NewBuilder("neverfires")
+	p2 := b2.Place("p")
+	t2 := b2.Transition("t")
+	b2.Arc(p2, t2)
+	u := b2.Transition("u")
+	q2 := b2.MarkedPlace("q", 1)
+	b2.Chain(q2, u, q2)
+	n3 := b2.Build()
+	live, err = Live(n3, n3.InitialMarking(), Options{})
+	if err != nil || live {
+		t.Fatalf("net with dead transition must not be live: %v, %v", live, err)
+	}
+}
+
+func TestCoverabilityBounded(t *testing.T) {
+	n := boundedCycle()
+	ct, err := BuildCoverabilityTree(n, n.InitialMarking(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Bounded() {
+		t.Fatal("cycle is bounded")
+	}
+	if got := ct.UnboundedPlaces(); len(got) != 0 {
+		t.Fatalf("UnboundedPlaces = %v", got)
+	}
+	p, _ := n.PlaceByName("p")
+	if got := ct.Bound(p); got != 1 {
+		t.Fatalf("Bound(p) = %d", got)
+	}
+	k, err := KBound(n, n.InitialMarking())
+	if err != nil || k != 1 {
+		t.Fatalf("KBound = %d, %v", k, err)
+	}
+}
+
+func TestCoverabilityUnbounded(t *testing.T) {
+	n := sourceFed()
+	ct, err := BuildCoverabilityTree(n, n.InitialMarking(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Bounded() {
+		t.Fatal("source-fed place is unbounded")
+	}
+	p, _ := n.PlaceByName("p")
+	unb := ct.UnboundedPlaces()
+	if len(unb) != 1 || unb[0] != p {
+		t.Fatalf("UnboundedPlaces = %v", unb)
+	}
+	if ct.Bound(p) != -1 {
+		t.Fatal("Bound of unbounded place must be -1")
+	}
+	k, err := KBound(n, n.InitialMarking())
+	if err != nil || k != -1 {
+		t.Fatalf("KBound = %d, %v", k, err)
+	}
+	bounded, err := Boundedness(n, n.InitialMarking())
+	if err != nil || bounded {
+		t.Fatalf("Boundedness = %v, %v", bounded, err)
+	}
+}
+
+func TestCoverabilityFigureNets(t *testing.T) {
+	// Every figure net with a source transition is unbounded as a free
+	// net (the environment can always outrun the consumers); this is
+	// exactly why the paper's schedulability is about *scheduled*
+	// executions, not raw boundedness.
+	for _, name := range []string{"figure3a", "figure3b", "figure4", "figure5"} {
+		n := figures.All()[name]
+		bounded, err := Boundedness(n, n.InitialMarking())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bounded {
+			t.Fatalf("%s: source-fed net should be unbounded under free firing", name)
+		}
+	}
+}
+
+func TestSiphonTrapBasics(t *testing.T) {
+	n := boundedCycle()
+	p, _ := n.PlaceByName("p")
+	q, _ := n.PlaceByName("q")
+	s := PlaceSet{p, q}
+	if !IsSiphon(n, s) {
+		t.Fatal("{p,q} is a siphon of the cycle")
+	}
+	if !IsTrap(n, s) {
+		t.Fatal("{p,q} is a trap of the cycle")
+	}
+	if IsSiphon(n, PlaceSet{}) || IsTrap(n, PlaceSet{}) {
+		t.Fatal("empty set is neither siphon nor trap by convention")
+	}
+	if IsSiphon(n, PlaceSet{p}) {
+		t.Fatal("{p} alone is not a siphon: t1 produces into p but consumes from q")
+	}
+}
+
+func TestMinimalSiphons(t *testing.T) {
+	n := boundedCycle()
+	siphons := MinimalSiphons(n, 0)
+	if len(siphons) != 1 || len(siphons[0]) != 2 {
+		t.Fatalf("MinimalSiphons = %v", siphons)
+	}
+	// Two independent cycles → two minimal siphons.
+	b := petri.NewBuilder("two")
+	for _, suffix := range []string{"a", "b"} {
+		t1 := b.Transition("t1" + suffix)
+		t2 := b.Transition("t2" + suffix)
+		p := b.MarkedPlace("p"+suffix, 1)
+		q := b.Place("q" + suffix)
+		b.Chain(t1, p, t2, q, t1)
+	}
+	siphons = MinimalSiphons(b.Build(), 0)
+	if len(siphons) != 2 {
+		t.Fatalf("expected 2 minimal siphons, got %v", siphons)
+	}
+}
+
+func TestMaximalTrapIn(t *testing.T) {
+	n := boundedCycle()
+	p, _ := n.PlaceByName("p")
+	q, _ := n.PlaceByName("q")
+	trap := MaximalTrapIn(n, PlaceSet{p, q})
+	if len(trap) != 2 {
+		t.Fatalf("MaximalTrapIn = %v", trap)
+	}
+	// In a feed-forward chain src -> p -> t -> q (q sink place), {p}
+	// contains no trap: t consumes from p without producing back.
+	b := petri.NewBuilder("chain")
+	src := b.Transition("src")
+	tr := b.Transition("t")
+	p2 := b.Place("p")
+	q2 := b.Place("q")
+	b.Chain(src, p2, tr, q2)
+	n2 := b.Build()
+	if got := MaximalTrapIn(n2, PlaceSet{p2}); len(got) != 0 {
+		t.Fatalf("trap in {p} = %v, want empty", got)
+	}
+	// {q} is a trap: q has no consumers.
+	if got := MaximalTrapIn(n2, PlaceSet{q2}); len(got) != 1 {
+		t.Fatalf("trap in {q} = %v", got)
+	}
+}
+
+func TestCommonerHolds(t *testing.T) {
+	if !CommonerHolds(boundedCycle(), boundedCycle().InitialMarking(), 0) {
+		t.Fatal("marked cycle satisfies Commoner")
+	}
+	// Unmarked cycle: the siphon starts empty → Commoner fails.
+	b := petri.NewBuilder("emptycycle")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	p := b.Place("p")
+	q := b.Place("q")
+	b.Chain(t1, p, t2, q, t1)
+	n := b.Build()
+	if CommonerHolds(n, n.InitialMarking(), 0) {
+		t.Fatal("empty cycle must violate Commoner")
+	}
+}
+
+func TestPlaceSetContains(t *testing.T) {
+	s := PlaceSet{1, 3, 5}
+	if !s.Contains(3) || s.Contains(2) || s.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestCoverable(t *testing.T) {
+	// Source-fed place: any finite count is coverable.
+	n := sourceFed()
+	p, _ := n.PlaceByName("p")
+	target := petri.NewMarking(n.NumPlaces())
+	target[p] = 1000
+	ok, err := Coverable(n, n.InitialMarking(), target)
+	if err != nil || !ok {
+		t.Fatalf("Coverable = %v, %v", ok, err)
+	}
+	// The 1-token cycle can never cover 2 tokens.
+	n2 := boundedCycle()
+	p2, _ := n2.PlaceByName("p")
+	target2 := petri.NewMarking(n2.NumPlaces())
+	target2[p2] = 2
+	ok, err = Coverable(n2, n2.InitialMarking(), target2)
+	if err != nil || ok {
+		t.Fatalf("two tokens coverable in a 1-invariant cycle: %v, %v", ok, err)
+	}
+	// One token is coverable in either place.
+	q2, _ := n2.PlaceByName("q")
+	target3 := petri.NewMarking(n2.NumPlaces())
+	target3[q2] = 1
+	ok, err = Coverable(n2, n2.InitialMarking(), target3)
+	if err != nil || !ok {
+		t.Fatalf("Coverable(q=1) = %v, %v", ok, err)
+	}
+}
+
+// TestKarpMillerAgreesWithExplicit cross-validates the two engines: on
+// bounded closed nets, the Karp–Miller tree's k-bound must equal the
+// maximum token count over the explicit reachability graph.
+func TestKarpMillerAgreesWithExplicit(t *testing.T) {
+	nets := []*petri.Net{}
+	// Family of credit loops with varying weights and tokens.
+	for _, w := range []int{1, 2, 3} {
+		for _, tokens := range []int{1, 2, 4} {
+			b := petri.NewBuilder("loop")
+			credit := b.MarkedPlace("credit", tokens)
+			work := b.Place("work")
+			t1 := b.Transition("t1")
+			t2 := b.Transition("t2")
+			b.Arc(credit, t1)
+			b.WeightedArcTP(t1, work, w)
+			b.WeightedArc(work, t2, w)
+			b.ArcTP(t2, credit)
+			nets = append(nets, b.Build())
+		}
+	}
+	for i, n := range nets {
+		g, err := BuildGraph(n, n.InitialMarking(), Options{})
+		if err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		explicitMax := 0
+		for _, m := range g.Markings {
+			for _, k := range m {
+				if k > explicitMax {
+					explicitMax = k
+				}
+			}
+		}
+		km, err := KBound(n, n.InitialMarking())
+		if err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		if km != explicitMax {
+			t.Fatalf("net %d: KM bound %d != explicit max %d", i, km, explicitMax)
+		}
+	}
+}
+
+// TestNestedUnboundedness: a place fed by an already-ω place must itself
+// accelerate to ω (two-level unboundedness).
+func TestNestedUnboundedness(t *testing.T) {
+	b := petri.NewBuilder("nested")
+	src := b.Transition("src")
+	mid := b.Transition("mid")
+	p := b.Place("p")
+	q := b.Place("q")
+	b.Chain(src, p, mid, q)
+	n := b.Build()
+	ct, err := BuildCoverabilityTree(n, n.InitialMarking(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unb := ct.UnboundedPlaces()
+	if len(unb) != 2 {
+		t.Fatalf("UnboundedPlaces = %v, want both p and q", unb)
+	}
+}
+
+// TestReachableAgainstGraph cross-checks the targeted BFS against full
+// graph enumeration on bounded nets: a marking is Reachable iff it appears
+// in the reachability graph.
+func TestReachableAgainstGraph(t *testing.T) {
+	nets := []*petri.Net{boundedCycle()}
+	// Add a 2-token ring with more states.
+	b := petri.NewBuilder("ring2")
+	p := b.MarkedPlace("p", 2)
+	q := b.Place("q")
+	r := b.Place("r")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	t3 := b.Transition("t3")
+	b.Chain(p, t1, q, t2, r, t3, p)
+	nets = append(nets, b.Build())
+	for _, n := range nets {
+		g, err := BuildGraph(n, n.InitialMarking(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range g.Markings {
+			ok, err := Reachable(n, n.InitialMarking(), m, Options{})
+			if err != nil || !ok {
+				t.Fatalf("%s: graph marking %v not Reachable (%v)", n.Name(), m, err)
+			}
+		}
+		// A marking with one extra token anywhere is unreachable.
+		bogus := n.InitialMarking()
+		bogus[0] += 5
+		ok, err := Reachable(n, n.InitialMarking(), bogus, Options{})
+		if err != nil || ok {
+			t.Fatalf("%s: bogus marking reachable (%v)", n.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package reach
+
+import (
+	"sort"
+
+	"fcpn/internal/petri"
+)
+
+// PlaceSet is a set of places represented as a sorted slice.
+type PlaceSet []petri.Place
+
+func newPlaceSet(ps map[petri.Place]bool) PlaceSet {
+	out := make(PlaceSet, 0, len(ps))
+	for p, in := range ps {
+		if in {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether p is in the set.
+func (s PlaceSet) Contains(p petri.Place) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	return i < len(s) && s[i] == p
+}
+
+// IsSiphon reports whether the place set S is a siphon: •S ⊆ S•, i.e.
+// every transition producing into S also consumes from S. Once a siphon is
+// emptied it stays empty.
+func IsSiphon(n *petri.Net, s PlaceSet) bool {
+	if len(s) == 0 {
+		return false
+	}
+	consumers := map[petri.Transition]bool{}
+	for _, p := range s {
+		for _, ta := range n.Consumers(p) {
+			consumers[ta.Transition] = true
+		}
+	}
+	for _, p := range s {
+		for _, ta := range n.Producers(p) {
+			if !consumers[ta.Transition] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsTrap reports whether the place set S is a trap: S• ⊆ •S, i.e. every
+// transition consuming from S also produces into S. Once a trap is marked
+// it stays marked.
+func IsTrap(n *petri.Net, s PlaceSet) bool {
+	if len(s) == 0 {
+		return false
+	}
+	producers := map[petri.Transition]bool{}
+	for _, p := range s {
+		for _, ta := range n.Producers(p) {
+			producers[ta.Transition] = true
+		}
+	}
+	for _, p := range s {
+		for _, ta := range n.Consumers(p) {
+			if !producers[ta.Transition] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MinimalSiphons enumerates the minimal (w.r.t. inclusion) siphons of the
+// net, capped at maxCount results (0 ⇒ 10000). The enumeration recursively
+// shrinks the full place set; nets used in embedded-software models are
+// small enough for this to be exact.
+func MinimalSiphons(n *petri.Net, maxCount int) []PlaceSet {
+	if maxCount <= 0 {
+		maxCount = 10000
+	}
+	var results []PlaceSet
+	seen := map[string]bool{}
+
+	// reduceToSiphon shrinks a candidate set to a siphon by repeatedly
+	// removing places whose producers are not covered; returns nil if it
+	// collapses to empty.
+	var siphons func(current map[petri.Place]bool)
+	siphons = func(current map[petri.Place]bool) {
+		if len(results) >= maxCount {
+			return
+		}
+		s := newPlaceSet(current)
+		if len(s) == 0 || !IsSiphon(n, s) {
+			return
+		}
+		key := s.key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		// Try to shrink: remove each place and re-close.
+		shrunk := false
+		for _, p := range s {
+			sub := map[petri.Place]bool{}
+			for _, q := range s {
+				if q != p {
+					sub[q] = true
+				}
+			}
+			closeSiphon(n, sub)
+			if len(sub) > 0 {
+				ss := newPlaceSet(sub)
+				if IsSiphon(n, ss) && len(ss) < len(s) {
+					shrunk = true
+					siphons(sub)
+				}
+			}
+		}
+		if !shrunk {
+			results = append(results, s)
+		}
+	}
+
+	all := map[petri.Place]bool{}
+	for _, p := range n.Places() {
+		all[p] = true
+	}
+	closeSiphon(n, all)
+	siphons(all)
+
+	// Filter to minimal sets (recursive shrinking can record both a set
+	// and a subset when branches differ).
+	var minimal []PlaceSet
+	for i, s := range results {
+		isMin := true
+		for j, u := range results {
+			if i != j && subsetOf(u, s) && len(u) < len(s) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, s)
+		}
+	}
+	sort.Slice(minimal, func(i, j int) bool { return minimal[i].key() < minimal[j].key() })
+	return dedupe(minimal)
+}
+
+// closeSiphon removes places from the candidate set until every remaining
+// place's producers all consume from the set (greatest siphon inside the
+// candidate).
+func closeSiphon(n *petri.Net, s map[petri.Place]bool) {
+	for changed := true; changed; {
+		changed = false
+		consumers := map[petri.Transition]bool{}
+		for p, in := range s {
+			if !in {
+				continue
+			}
+			for _, ta := range n.Consumers(p) {
+				consumers[ta.Transition] = true
+			}
+		}
+		for p, in := range s {
+			if !in {
+				continue
+			}
+			for _, ta := range n.Producers(p) {
+				if !consumers[ta.Transition] {
+					delete(s, p)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// MaximalTrapIn returns the greatest trap contained in the place set s
+// (possibly empty): repeatedly remove places with a consumer that does not
+// produce back into the set.
+func MaximalTrapIn(n *petri.Net, s PlaceSet) PlaceSet {
+	cur := map[petri.Place]bool{}
+	for _, p := range s {
+		cur[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		producers := map[petri.Transition]bool{}
+		for p, in := range cur {
+			if !in {
+				continue
+			}
+			for _, ta := range n.Producers(p) {
+				producers[ta.Transition] = true
+			}
+		}
+		for p, in := range cur {
+			if !in {
+				continue
+			}
+			for _, ta := range n.Consumers(p) {
+				if !producers[ta.Transition] {
+					delete(cur, p)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return newPlaceSet(cur)
+}
+
+// CommonerHolds checks Commoner's condition at marking m0: every minimal
+// siphon contains a trap that is marked at m0. For ordinary (unit-weight)
+// free-choice nets this is equivalent to liveness (Commoner's theorem);
+// for the open weighted nets of embedded models it is a useful structural
+// health check rather than a full decision procedure.
+func CommonerHolds(n *petri.Net, m0 petri.Marking, maxSiphons int) bool {
+	for _, s := range MinimalSiphons(n, maxSiphons) {
+		trap := MaximalTrapIn(n, s)
+		marked := false
+		for _, p := range trap {
+			if m0[p] > 0 {
+				marked = true
+				break
+			}
+		}
+		if !marked {
+			return false
+		}
+	}
+	return true
+}
+
+func (s PlaceSet) key() string {
+	b := make([]byte, 0, len(s)*3)
+	for _, p := range s {
+		b = appendPlace(b, int(p))
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendPlace(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, buf[i:]...)
+}
+
+func subsetOf(a, b PlaceSet) bool {
+	for _, p := range a {
+		if !b.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupe(sets []PlaceSet) []PlaceSet {
+	var out []PlaceSet
+	last := ""
+	for _, s := range sets {
+		k := s.key()
+		if k != last {
+			out = append(out, s)
+			last = k
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package rtos models the run-time system underneath the synthesised
+// tasks: a cycle-cost accounting kernel with task activation overhead, an
+// event queue, and workload generators for interrupt-like (irregular) and
+// timer-like (periodic) input events.
+//
+// The paper evaluated its implementations by clock-cycle counts on an
+// embedded target with a commercial RTOS; this package is the simulated
+// substitute. Absolute costs are parameters (CostModel); the comparison
+// the paper makes — fewer tasks ⇒ fewer activations ⇒ less overhead —
+// depends only on the relative values.
+package rtos
+
+import (
+	"fmt"
+	"sort"
+
+	"fcpn/internal/petri"
+)
+
+// CostModel assigns cycle costs to the observable actions of an
+// implementation.
+type CostModel struct {
+	// Activation is charged every time the RTOS dispatches a task
+	// (context switch, queue management, scheduler bookkeeping).
+	Activation int64
+	// Poll is charged when the dynamic scheduler examines a task that then
+	// has nothing to do.
+	Poll int64
+	// Fire is charged per transition firing (the data computation; a
+	// proxy for the paper's per-operation cost).
+	Fire int64
+	// Op is charged per counter update or guard evaluation in generated
+	// code.
+	Op int64
+	// Interrupt is charged per external event delivery.
+	Interrupt int64
+}
+
+// DefaultCostModel mirrors a small embedded kernel: task activation is an
+// order of magnitude more expensive than straight-line code.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Activation: 150,
+		Poll:       6,
+		Fire:       120,
+		Op:         2,
+		Interrupt:  30,
+	}
+}
+
+// Kernel accumulates cycle costs and activation counts.
+type Kernel struct {
+	Cost        CostModel
+	Cycles      int64
+	Activations int64
+	Polls       int64
+	Interrupts  int64
+	// PerTask counts activations per task name.
+	PerTask map[string]int64
+}
+
+// NewKernel returns a kernel with the given cost model.
+func NewKernel(cost CostModel) *Kernel {
+	return &Kernel{Cost: cost, PerTask: make(map[string]int64)}
+}
+
+// Activate charges one task dispatch.
+func (k *Kernel) Activate(task string) {
+	k.Cycles += k.Cost.Activation
+	k.Activations++
+	k.PerTask[task]++
+}
+
+// Poll charges one no-work scheduler examination.
+func (k *Kernel) Poll(task string) {
+	k.Cycles += k.Cost.Poll
+	k.Polls++
+}
+
+// Interrupt charges one event delivery.
+func (k *Kernel) Interrupt() {
+	k.Cycles += k.Cost.Interrupt
+	k.Interrupts++
+}
+
+// ChargeFirings charges n transition executions.
+func (k *Kernel) ChargeFirings(n int64) { k.Cycles += n * k.Cost.Fire }
+
+// ChargeOps charges n generated-code bookkeeping operations.
+func (k *Kernel) ChargeOps(n int64) { k.Cycles += n * k.Cost.Op }
+
+// String summarises the kernel counters.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("cycles=%d activations=%d polls=%d interrupts=%d",
+		k.Cycles, k.Activations, k.Polls, k.Interrupts)
+}
+
+// Event is one external input occurrence: the source transition fires at
+// the given time (times order the merged workload; the cost model is
+// cycle-based, not latency-based).
+type Event struct {
+	Time   int64
+	Source petri.Transition
+}
+
+// Periodic generates count events for src with the given period, starting
+// at phase.
+func Periodic(src petri.Transition, period, phase int64, count int) []Event {
+	out := make([]Event, count)
+	for i := range out {
+		out[i] = Event{Time: phase + int64(i)*period, Source: src}
+	}
+	return out
+}
+
+// Bursty generates count events for src with pseudo-random gaps averaging
+// meanGap (deterministic per seed): the "interrupt at irregular times"
+// input of the paper's ATM server.
+func Bursty(src petri.Transition, meanGap int64, count int, seed uint64) []Event {
+	if meanGap < 1 {
+		meanGap = 1
+	}
+	state := seed*6364136223846793005 + 1442695040888963407
+	next := func(n int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64((state >> 33) % uint64(n))
+	}
+	out := make([]Event, count)
+	t := int64(0)
+	for i := range out {
+		t += 1 + next(2*meanGap)
+		out[i] = Event{Time: t, Source: src}
+	}
+	return out
+}
+
+// Merge interleaves event streams by time, stably (equal times keep the
+// argument order).
+func Merge(streams ...[]Event) []Event {
+	var all []Event
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	return all
+}

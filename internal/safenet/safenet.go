@@ -1,0 +1,184 @@
+// Package safenet implements the comparison baseline the paper argues
+// against (Section 1, Lin [6], "Software synthesis of process-based
+// concurrent programs", DAC 1998): code synthesis by enumerating the
+// reachability graph of a *safe* (1-bounded) Petri net and compiling it to
+// a single state-machine task.
+//
+// The implementation deliberately has Lin's limitations, which the paper
+// calls out and this repository demonstrates in tests:
+//
+//   - it rejects nets with source transitions (safeness excludes modelling
+//     the environment with source/sink transitions, so independent-rate
+//     inputs cannot be expressed), and
+//   - it rejects non-safe nets (safeness makes multirate specifications —
+//     FFTs, downsamplers, the paper's Figure 4 — inexpressible).
+//
+// Within its domain it is complete: any safe net yields a finite state
+// machine whose code needs no counters at all.
+package safenet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fcpn/internal/petri"
+	"fcpn/internal/reach"
+)
+
+// ErrHasSources is returned for nets with source transitions: a net with
+// an input that can always fire is never bounded, so never safe.
+var ErrHasSources = errors.New("safenet: net has source transitions (Lin's method cannot model environment inputs)")
+
+// ErrNotSafe is returned when some reachable marking puts more than one
+// token in a place.
+var ErrNotSafe = errors.New("safenet: net is not safe (1-bounded)")
+
+// Result is the synthesised state machine.
+type Result struct {
+	// C is the generated single-task implementation.
+	C string
+	// States is the number of reachable markings.
+	States int
+	// Edges is the number of firings in the reachability graph.
+	Edges int
+}
+
+// Options bounds the enumeration.
+type Options struct {
+	// MaxStates caps reachability exploration (0 = 100000).
+	MaxStates int
+}
+
+// Synthesize compiles a safe Petri net into a single C task that walks the
+// reachability graph: one case per marking, one firing per step, choices
+// dispatched on read_<place>() exactly where several transitions of one
+// equal-conflict cluster are enabled. Concurrency is serialised
+// deterministically (lowest transition index first), which is sound for
+// safe nets.
+func Synthesize(n *petri.Net, opt Options) (*Result, error) {
+	if len(n.SourceTransitions()) > 0 {
+		return nil, ErrHasSources
+	}
+	bounded, err := reach.Boundedness(n, n.InitialMarking())
+	if err != nil {
+		return nil, err
+	}
+	if !bounded {
+		return nil, ErrNotSafe
+	}
+	k, err := reach.KBound(n, n.InitialMarking())
+	if err != nil {
+		return nil, err
+	}
+	if k > 1 {
+		return nil, fmt.Errorf("%w: %d-bounded", ErrNotSafe, k)
+	}
+	g, err := reach.BuildGraph(n, n.InitialMarking(), reach.Options{MaxStates: opt.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* Safe-net state-machine implementation of %q (Lin-style baseline). */\n", n.Name())
+	fmt.Fprintf(&b, "/* %d states, %d edges. */\n\n", g.NumStates(), len(g.Edges))
+	emitted := map[petri.Transition]bool{}
+	choiceUsed := map[petri.Place]bool{}
+	for _, e := range g.Edges {
+		emitted[e.Transition] = true
+	}
+	var ts []int
+	for t := range emitted {
+		ts = append(ts, int(t))
+	}
+	sort.Ints(ts)
+	for _, t := range ts {
+		fmt.Fprintf(&b, "extern void %s(void);\n", n.TransitionName(petri.Transition(t)))
+	}
+
+	// Pre-compute, per state, the plan: either a single firing, a choice
+	// dispatch, or a halt.
+	plans := make([][]edgeTo, g.NumStates())
+	for s := 0; s < g.NumStates(); s++ {
+		for _, ei := range g.Succ[s] {
+			e := g.Edges[ei]
+			plans[s] = append(plans[s], edgeTo{e.Transition, e.To})
+		}
+		sort.Slice(plans[s], func(i, j int) bool { return plans[s][i].t < plans[s][j].t })
+	}
+	// Which choice places dispatch anywhere?
+	for s := 0; s < g.NumStates(); s++ {
+		if cluster := clusterOf(n, plans[s]); cluster != nil {
+			choiceUsed[cluster.Places[0]] = true
+		}
+	}
+	var cps []int
+	for p := range choiceUsed {
+		cps = append(cps, int(p))
+	}
+	sort.Ints(cps)
+	for _, p := range cps {
+		fmt.Fprintf(&b, "extern int read_%s(void);\n", n.PlaceName(petri.Place(p)))
+	}
+
+	b.WriteString("\nvoid task_main(void) {\n\tint state = 0;\n\tfor (;;) {\n\t\tswitch (state) {\n")
+	for s := 0; s < g.NumStates(); s++ {
+		fmt.Fprintf(&b, "\t\tcase %d: /* %s */\n", s, g.Markings[s])
+		switch {
+		case len(plans[s]) == 0:
+			b.WriteString("\t\t\treturn; /* deadlock: no enabled transition */\n")
+		case len(plans[s]) == 1:
+			fmt.Fprintf(&b, "\t\t\t%s(); state = %d; break;\n",
+				n.TransitionName(plans[s][0].t), plans[s][0].to)
+		default:
+			if cluster := clusterOf(n, plans[s]); cluster != nil {
+				// All enabled firings resolve one free choice: dispatch
+				// on the control value.
+				p := cluster.Places[0]
+				fmt.Fprintf(&b, "\t\t\tswitch (read_%s()) {\n", n.PlaceName(p))
+				for i, e := range plans[s] {
+					fmt.Fprintf(&b, "\t\t\tcase %d: %s(); state = %d; break;\n",
+						i, n.TransitionName(e.t), e.to)
+				}
+				b.WriteString("\t\t\t}\n\t\t\tbreak;\n")
+			} else {
+				// Concurrency: serialise on the lowest index.
+				fmt.Fprintf(&b, "\t\t\t%s(); state = %d; break; /* serialised */\n",
+					n.TransitionName(plans[s][0].t), plans[s][0].to)
+			}
+		}
+	}
+	b.WriteString("\t\t}\n\t}\n}\n")
+
+	return &Result{C: b.String(), States: g.NumStates(), Edges: len(g.Edges)}, nil
+}
+
+// edgeTo is one outgoing firing of a reachability-graph state.
+type edgeTo struct {
+	t  petri.Transition
+	to int
+}
+
+// clusterOf reports the free-choice cluster when every planned firing
+// belongs to one equal-conflict set with a single shared place, else nil.
+func clusterOf(n *petri.Net, plans []edgeTo) *petri.ConflictCluster {
+	if len(plans) < 2 {
+		return nil
+	}
+	first := plans[0].t
+	for _, e := range plans[1:] {
+		if !n.EqualConflict(first, e.t) {
+			return nil
+		}
+	}
+	pre := n.Pre(first)
+	if len(pre) != 1 {
+		return nil
+	}
+	cluster := &petri.ConflictCluster{Places: []petri.Place{pre[0].Place}}
+	for _, e := range plans {
+		cluster.Transitions = append(cluster.Transitions, e.t)
+	}
+	return cluster
+}

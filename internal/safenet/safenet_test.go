@@ -1,0 +1,152 @@
+package safenet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fcpn/internal/core"
+	"fcpn/internal/figures"
+	"fcpn/internal/petri"
+)
+
+// safeChoiceLoop is a safe, closed control loop with one free choice:
+// idle -> (work | skip) -> idle.
+func safeChoiceLoop() *petri.Net {
+	b := petri.NewBuilder("safeloop")
+	idle := b.MarkedPlace("idle", 1)
+	decide := b.Place("decide")
+	done := b.Place("done")
+	poll := b.Transition("poll")
+	work := b.Transition("work")
+	skip := b.Transition("skip")
+	finish := b.Transition("finish")
+	b.Chain(idle, poll, decide)
+	b.Arc(decide, work)
+	b.Arc(decide, skip)
+	b.ArcTP(work, done)
+	b.ArcTP(skip, done)
+	b.Chain(done, finish, idle)
+	return b.Build()
+}
+
+// boundedMultirate is a closed, live, 2-bounded (not safe) multirate loop:
+// credit place holds 2 tokens, t1 produces into p1, t2 consumes 2.
+func boundedMultirate() *petri.Net {
+	b := petri.NewBuilder("multirate")
+	credit := b.MarkedPlace("credit", 2)
+	p1 := b.Place("p1")
+	t1 := b.Transition("t1")
+	t2 := b.Transition("t2")
+	b.Arc(credit, t1)
+	b.ArcTP(t1, p1)
+	b.WeightedArc(p1, t2, 2)
+	b.WeightedArcTP(t2, credit, 2)
+	return b.Build()
+}
+
+func TestSynthesizeSafeLoop(t *testing.T) {
+	res, err := Synthesize(safeChoiceLoop(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 3 {
+		t.Fatalf("states = %d, want 3 (idle, decide, done)", res.States)
+	}
+	for _, frag := range []string{
+		"void task_main(void)",
+		"switch (state)",
+		"switch (read_decide())",
+		"case 0:",
+		"poll();",
+	} {
+		if !strings.Contains(res.C, frag) {
+			t.Fatalf("C missing %q:\n%s", frag, res.C)
+		}
+	}
+	// A state machine needs no counters at all.
+	if strings.Contains(res.C, "n_") {
+		t.Fatal("safe-net code must not contain counters")
+	}
+}
+
+// TestRejectsEnvironmentInputs reproduces the paper's first criticism of
+// Lin's method: source transitions (environment inputs with independent
+// rates) cannot be expressed under the safeness assumption.
+func TestRejectsEnvironmentInputs(t *testing.T) {
+	for _, n := range []*petri.Net{figures.Figure3a(), figures.Figure4(), figures.Figure5()} {
+		if _, err := Synthesize(n, Options{}); !errors.Is(err, ErrHasSources) {
+			t.Fatalf("%s: err = %v, want ErrHasSources", n.Name(), err)
+		}
+	}
+}
+
+// TestRejectsMultirate reproduces the paper's second criticism: safeness
+// makes multirate specifications impossible — the bounded multirate loop
+// is rejected by Lin's method but scheduled fine by QSS.
+func TestRejectsMultirate(t *testing.T) {
+	n := boundedMultirate()
+	if _, err := Synthesize(n, Options{}); !errors.Is(err, ErrNotSafe) {
+		t.Fatalf("err = %v, want ErrNotSafe", err)
+	}
+	// QSS handles the same net: one allocation (no choices), one cycle.
+	s, err := core.Solve(n, core.Options{})
+	if err != nil {
+		t.Fatalf("QSS must schedule the multirate loop: %v", err)
+	}
+	if len(s.Cycles) != 1 {
+		t.Fatalf("cycles = %d", len(s.Cycles))
+	}
+}
+
+func TestRejectsUnboundedClosedNet(t *testing.T) {
+	// Closed net that is unbounded: t produces two tokens into its own
+	// credit loop per firing.
+	b := petri.NewBuilder("grow")
+	p := b.MarkedPlace("p", 1)
+	tr := b.Transition("t")
+	b.Arc(p, tr)
+	b.WeightedArcTP(tr, p, 2)
+	if _, err := Synthesize(b.Build(), Options{}); !errors.Is(err, ErrNotSafe) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadlockStateEmitsReturn(t *testing.T) {
+	// One-shot safe net: fires once then halts.
+	b := petri.NewBuilder("oneshot")
+	p := b.MarkedPlace("p", 1)
+	q := b.Place("q")
+	tr := b.Transition("t")
+	b.Chain(p, tr, q)
+	res, err := Synthesize(b.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.C, "return; /* deadlock") {
+		t.Fatalf("missing deadlock case:\n%s", res.C)
+	}
+}
+
+func TestConcurrencySerialised(t *testing.T) {
+	// Two independent marked loops: states with two enabled non-conflicting
+	// transitions must serialise, not dispatch on a choice value.
+	b := petri.NewBuilder("conc")
+	for _, s := range []string{"a", "b"} {
+		p := b.MarkedPlace("p"+s, 1)
+		q := b.Place("q" + s)
+		t1 := b.Transition("go" + s)
+		t2 := b.Transition("back" + s)
+		b.Chain(p, t1, q, t2, p)
+	}
+	res, err := Synthesize(b.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.C, "/* serialised */") {
+		t.Fatalf("expected serialisation comment:\n%s", res.C)
+	}
+	if strings.Contains(res.C, "read_") {
+		t.Fatal("independent concurrency must not become a choice dispatch")
+	}
+}

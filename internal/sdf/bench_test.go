@@ -1,0 +1,43 @@
+package sdf
+
+import "testing"
+
+// longChain builds a k-stage rate-changing chain.
+func longChain(k int) *Graph {
+	g := NewGraph()
+	prev := g.AddActor("a0")
+	for i := 1; i <= k; i++ {
+		cur := g.AddActor("a" + string(rune('0'+i%10)) + string(rune('a'+i%26)))
+		prod, cons := 1, 1
+		if i%3 == 0 {
+			prod = 2
+		}
+		if i%4 == 0 {
+			cons = 3
+		}
+		if err := g.Connect(prev, cur, prod, cons, 0); err != nil {
+			panic(err)
+		}
+		prev = cur
+	}
+	return g
+}
+
+func BenchmarkRepetitionVector(b *testing.B) {
+	g := longChain(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RepetitionVector(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPASS(b *testing.B) {
+	g := longChain(12)
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Schedule(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

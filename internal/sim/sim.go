@@ -1,0 +1,252 @@
+// Package sim executes generated task programs (internal/codegen) on the
+// simulated RTOS (internal/rtos) against an event workload, producing the
+// metrics of the paper's Table I: task count, generated code size and
+// clock cycles.
+//
+// Both implementations of a net — the quasi-static one and the functional
+// (modular) baseline — are driven with the *same* decision stream: the
+// k-th control token of each choice place resolves identically in both
+// runs, so measured differences come from scheduling, not workload luck.
+package sim
+
+import (
+	"fmt"
+
+	"fcpn/internal/codegen"
+	"fcpn/internal/petri"
+	"fcpn/internal/rtos"
+)
+
+// Metrics is the outcome of one simulated run.
+type Metrics struct {
+	// Cycles is the total cycle cost (the paper's "Clock cycles" row).
+	Cycles int64
+	// Activations counts RTOS task dispatches.
+	Activations int64
+	// Polls counts no-work scheduler examinations (baseline only).
+	Polls int64
+	// Events is the number of workload events delivered.
+	Events int
+	// Fired is the per-transition firing count over the whole run.
+	Fired []int
+	// MaxCounter is the largest queue/counter value observed: the memory
+	// bound actually exercised.
+	MaxCounter int
+	// PerTask counts activations per task.
+	PerTask map[string]int64
+	// LatencyMax and LatencyAvg summarise per-event processing cost in
+	// cycles (response time of one input under run-to-completion).
+	LatencyMax int64
+	LatencyAvg int64
+}
+
+// recordLatency folds one event's cycle cost into the metrics aggregates.
+type latencyAgg struct {
+	max, sum int64
+	n        int64
+}
+
+func (l *latencyAgg) add(cycles int64) {
+	if cycles > l.max {
+		l.max = cycles
+	}
+	l.sum += cycles
+	l.n++
+}
+
+func (l *latencyAgg) into(m *Metrics) {
+	m.LatencyMax = l.max
+	if l.n > 0 {
+		m.LatencyAvg = l.sum / l.n
+	}
+}
+
+// DecisionStream resolves the k-th control token of each choice place
+// deterministically from a seed, so independent runs see identical data.
+type DecisionStream struct {
+	seed uint64
+	k    map[petri.Place]uint64
+	net  *petri.Net
+	// Bias optionally overrides the uniform distribution: Bias[p] gives
+	// per-alternative weights for place p (len = number of consumers).
+	Bias map[petri.Place][]int
+}
+
+// NewDecisionStream creates a stream for the net with the given seed.
+func NewDecisionStream(n *petri.Net, seed uint64) *DecisionStream {
+	return &DecisionStream{seed: seed, k: make(map[petri.Place]uint64), net: n}
+}
+
+// Resolver adapts the stream to the interpreter's callback. The chosen
+// transition is a deterministic function of (place, occurrence index,
+// seed); its position within the alternatives offered is looked up so QSS
+// and modular code see the same decision regardless of code shape.
+func (ds *DecisionStream) Resolver() codegen.ChoiceResolver {
+	return func(p petri.Place, alts []petri.Transition) int {
+		k := ds.k[p]
+		ds.k[p] = k + 1
+		target := ds.decide(p, k)
+		for i, t := range alts {
+			if t == target {
+				return i
+			}
+		}
+		return -1
+	}
+}
+
+func (ds *DecisionStream) decide(p petri.Place, k uint64) petri.Transition {
+	consumers := ds.net.Consumers(p)
+	h := ds.seed ^ (uint64(p)+1)*0x9E3779B97F4A7C15 ^ (k+1)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	if weights, ok := ds.Bias[p]; ok && len(weights) == len(consumers) {
+		total := 0
+		for _, w := range weights {
+			total += w
+		}
+		if total > 0 {
+			x := int(h % uint64(total))
+			for i, w := range weights {
+				if x < w {
+					return consumers[i].Transition
+				}
+				x -= w
+			}
+		}
+	}
+	return consumers[h%uint64(len(consumers))].Transition
+}
+
+// Hooks customises a run: how choices resolve, what observes firings, and
+// what happens before each event (e.g. presenting the next cell header to
+// a behavioural model).
+type Hooks struct {
+	Resolver    codegen.ChoiceResolver
+	OnFire      func(t petri.Transition)
+	BeforeEvent func(ev rtos.Event)
+}
+
+// RunQSS drives the quasi-statically scheduled program: each event costs
+// one interrupt plus one task activation, then the task runs to
+// completion. Choices resolve through a seeded DecisionStream.
+func RunQSS(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, seed uint64) (*Metrics, error) {
+	ds := NewDecisionStream(prog.Net, seed)
+	return RunQSSWithHooks(prog, events, cost, Hooks{Resolver: ds.Resolver()})
+}
+
+// RunQSSWithHooks is RunQSS with caller-supplied hooks.
+func RunQSSWithHooks(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, hooks Hooks) (*Metrics, error) {
+	in := codegen.NewInterp(prog, hooks.Resolver)
+	in.OnFire = hooks.OnFire
+	k := rtos.NewKernel(cost)
+	var lat latencyAgg
+	for _, ev := range events {
+		ti := prog.TaskBySource(ev.Source)
+		if ti < 0 {
+			return nil, fmt.Errorf("sim: no task for source %s", prog.Net.TransitionName(ev.Source))
+		}
+		if hooks.BeforeEvent != nil {
+			hooks.BeforeEvent(ev)
+		}
+		startCycles := k.Cycles
+		k.Interrupt()
+		k.Activate(prog.Tasks[ti].Task.Name)
+		beforeFired, beforeOps := totalFired(in), in.Stats.Ops
+		if err := in.RunSource(ev.Source); err != nil {
+			return nil, err
+		}
+		k.ChargeFirings(totalFired(in) - beforeFired)
+		k.ChargeOps(int64(in.Stats.Ops - beforeOps))
+		lat.add(k.Cycles - startCycles)
+	}
+	m := metricsFrom(k, in, len(events))
+	lat.into(m)
+	return m, nil
+}
+
+// RunModular drives the functional-partitioning baseline: the event
+// activates the owning module's task, then a dynamic scheduler keeps
+// dispatching module tasks whose queues contain work until the system is
+// quiescent. Every dispatch pays activation overhead; examining an idle
+// task pays a poll. Choices resolve through a seeded DecisionStream.
+func RunModular(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, seed uint64) (*Metrics, error) {
+	ds := NewDecisionStream(prog.Net, seed)
+	return RunModularWithHooks(prog, events, cost, Hooks{Resolver: ds.Resolver()})
+}
+
+// RunModularWithHooks is RunModular with caller-supplied hooks.
+func RunModularWithHooks(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, hooks Hooks) (*Metrics, error) {
+	in := codegen.NewInterp(prog, hooks.Resolver)
+	in.OnFire = hooks.OnFire
+	k := rtos.NewKernel(cost)
+	var lat latencyAgg
+	for _, ev := range events {
+		ti := prog.TaskBySource(ev.Source)
+		if ti < 0 {
+			return nil, fmt.Errorf("sim: no task for source %s", prog.Net.TransitionName(ev.Source))
+		}
+		if hooks.BeforeEvent != nil {
+			hooks.BeforeEvent(ev)
+		}
+		startCycles := k.Cycles
+		k.Interrupt()
+		k.Activate(prog.Tasks[ti].Task.Name)
+		beforeFired, beforeOps := totalFired(in), in.Stats.Ops
+		if err := in.RunSource(ev.Source); err != nil {
+			return nil, err
+		}
+		k.ChargeFirings(totalFired(in) - beforeFired)
+		k.ChargeOps(int64(in.Stats.Ops - beforeOps))
+
+		// Dynamic scheduling: cascade through the module tasks until no
+		// task makes progress.
+		for {
+			progress := false
+			for mi := range prog.Tasks {
+				beforeFired, beforeOps := totalFired(in), in.Stats.Ops
+				fired, err := in.RunTask(mi)
+				if err != nil {
+					return nil, err
+				}
+				if fired {
+					k.Activate(prog.Tasks[mi].Task.Name)
+					progress = true
+				} else {
+					k.Poll(prog.Tasks[mi].Task.Name)
+				}
+				k.ChargeFirings(totalFired(in) - beforeFired)
+				k.ChargeOps(int64(in.Stats.Ops - beforeOps))
+			}
+			if !progress {
+				break
+			}
+		}
+		lat.add(k.Cycles - startCycles)
+	}
+	m := metricsFrom(k, in, len(events))
+	lat.into(m)
+	return m, nil
+}
+
+func totalFired(in *codegen.Interp) int64 {
+	var sum int64
+	for _, c := range in.Stats.Fired {
+		sum += int64(c)
+	}
+	return sum
+}
+
+func metricsFrom(k *rtos.Kernel, in *codegen.Interp, events int) *Metrics {
+	fired := append([]int(nil), in.Stats.Fired...)
+	return &Metrics{
+		Cycles:      k.Cycles,
+		Activations: k.Activations,
+		Polls:       k.Polls,
+		Events:      events,
+		Fired:       fired,
+		MaxCounter:  in.Stats.MaxCounter,
+		PerTask:     k.PerTask,
+	}
+}

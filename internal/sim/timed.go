@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"fcpn/internal/codegen"
+	"fcpn/internal/rtos"
+)
+
+// TimedMetrics extends Metrics with single-processor timing: events arrive
+// at their workload timestamps, the CPU serves them run-to-completion in
+// arrival order, and an event's response time is completion minus arrival.
+type TimedMetrics struct {
+	Metrics
+	// CPUBusy is the total busy time in cycles; Makespan is the clock at
+	// which the last event completes.
+	CPUBusy, Makespan int64
+	// ResponseMax and ResponseAvg summarise event response times
+	// (queueing delay + execution), in cycles.
+	ResponseMax, ResponseAvg int64
+	// DeadlineMisses counts events whose response time exceeded the
+	// deadline (when a deadline is configured).
+	DeadlineMisses int
+	// Utilisation is CPUBusy / Makespan in percent.
+	Utilisation float64
+}
+
+// TimedConfig parameterises the timed run.
+type TimedConfig struct {
+	// CyclesPerTick converts workload time units into cycles (how much
+	// CPU time passes between t and t+1). Must be positive.
+	CyclesPerTick int64
+	// Deadline, in cycles, is the per-event response-time budget; 0
+	// disables deadline accounting.
+	Deadline int64
+	// Modular switches the baseline execution mode (dynamic scheduler
+	// cascade after each event).
+	Modular bool
+}
+
+// RunTimed executes the program against the workload on a single CPU with
+// real arrival times: if an event arrives while the processor is still
+// serving an earlier one, it queues. Everything else (costs, hooks,
+// decision semantics) matches RunQSSWithHooks / RunModularWithHooks.
+func RunTimed(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, cfg TimedConfig, hooks Hooks) (*TimedMetrics, error) {
+	if cfg.CyclesPerTick <= 0 {
+		return nil, fmt.Errorf("sim: CyclesPerTick must be positive")
+	}
+	ordered := append([]rtos.Event(nil), events...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
+
+	in := codegen.NewInterp(prog, hooks.Resolver)
+	in.OnFire = hooks.OnFire
+	k := rtos.NewKernel(cost)
+
+	var clock int64 // absolute time in cycles
+	var busy int64
+	var respMax, respSum int64
+	misses := 0
+
+	for _, ev := range ordered {
+		arrival := ev.Time * cfg.CyclesPerTick
+		if clock < arrival {
+			clock = arrival // CPU idles until the event arrives
+		}
+		ti := prog.TaskBySource(ev.Source)
+		if ti < 0 {
+			return nil, fmt.Errorf("sim: no task for source %s", prog.Net.TransitionName(ev.Source))
+		}
+		if hooks.BeforeEvent != nil {
+			hooks.BeforeEvent(ev)
+		}
+		start := k.Cycles
+		k.Interrupt()
+		k.Activate(prog.Tasks[ti].Task.Name)
+		beforeFired, beforeOps := totalFired(in), in.Stats.Ops
+		if err := in.RunSource(ev.Source); err != nil {
+			return nil, err
+		}
+		k.ChargeFirings(totalFired(in) - beforeFired)
+		k.ChargeOps(int64(in.Stats.Ops - beforeOps))
+		if cfg.Modular {
+			for {
+				progress := false
+				for mi := range prog.Tasks {
+					bf, bo := totalFired(in), in.Stats.Ops
+					fired, err := in.RunTask(mi)
+					if err != nil {
+						return nil, err
+					}
+					if fired {
+						k.Activate(prog.Tasks[mi].Task.Name)
+						progress = true
+					} else {
+						k.Poll(prog.Tasks[mi].Task.Name)
+					}
+					k.ChargeFirings(totalFired(in) - bf)
+					k.ChargeOps(int64(in.Stats.Ops - bo))
+				}
+				if !progress {
+					break
+				}
+			}
+		}
+		service := k.Cycles - start
+		busy += service
+		clock += service
+		response := clock - arrival
+		if response > respMax {
+			respMax = response
+		}
+		respSum += response
+		if cfg.Deadline > 0 && response > cfg.Deadline {
+			misses++
+		}
+	}
+
+	m := metricsFrom(k, in, len(ordered))
+	tm := &TimedMetrics{
+		Metrics:        *m,
+		CPUBusy:        busy,
+		Makespan:       clock,
+		ResponseMax:    respMax,
+		DeadlineMisses: misses,
+	}
+	if len(ordered) > 0 {
+		tm.ResponseAvg = respSum / int64(len(ordered))
+	}
+	if clock > 0 {
+		tm.Utilisation = 100 * float64(busy) / float64(clock)
+	}
+	return tm, nil
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"fcpn/internal/codegen"
+	"fcpn/internal/figures"
+	"fcpn/internal/petri"
+	"fcpn/internal/rtos"
+)
+
+func TestRunTimedBasics(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	// Sparse arrivals: no queueing, response == service time.
+	events := rtos.Periodic(t1, 1000, 0, 10)
+	ds := NewDecisionStream(n, 3)
+	tm, err := RunTimed(prog, events, rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 10}, Hooks{Resolver: ds.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Events != 10 {
+		t.Fatalf("events = %d", tm.Events)
+	}
+	if tm.ResponseMax <= 0 || tm.ResponseAvg <= 0 || tm.ResponseMax < tm.ResponseAvg {
+		t.Fatalf("responses: max=%d avg=%d", tm.ResponseMax, tm.ResponseAvg)
+	}
+	if tm.Utilisation <= 0 || tm.Utilisation >= 100 {
+		t.Fatalf("sparse load utilisation = %.1f%%", tm.Utilisation)
+	}
+	if tm.CPUBusy > tm.Makespan {
+		t.Fatalf("busy %d > makespan %d", tm.CPUBusy, tm.Makespan)
+	}
+	if tm.DeadlineMisses != 0 {
+		t.Fatal("no deadline configured, no misses possible")
+	}
+}
+
+func TestRunTimedQueueingUnderLoad(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	ds1 := NewDecisionStream(n, 3)
+	ds2 := NewDecisionStream(n, 3)
+	// Back-to-back arrivals: queueing delays accumulate, so the worst
+	// response under overload strictly exceeds the sparse case.
+	sparse, err := RunTimed(prog, rtos.Periodic(t1, 1000, 0, 20), rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 10}, Hooks{Resolver: ds1.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := RunTimed(prog, rtos.Periodic(t1, 1, 0, 20), rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 10}, Hooks{Resolver: ds2.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.ResponseMax <= sparse.ResponseMax {
+		t.Fatalf("overload max response %d must exceed sparse %d",
+			packed.ResponseMax, sparse.ResponseMax)
+	}
+	if packed.Utilisation <= sparse.Utilisation {
+		t.Fatalf("overload utilisation %.1f must exceed sparse %.1f",
+			packed.Utilisation, sparse.Utilisation)
+	}
+	// Deadline accounting: with a deadline below the packed worst case
+	// there must be misses.
+	ds3 := NewDecisionStream(n, 3)
+	strict, err := RunTimed(prog, rtos.Periodic(t1, 1, 0, 20), rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 10, Deadline: packed.ResponseMax - 1},
+		Hooks{Resolver: ds3.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.DeadlineMisses == 0 {
+		t.Fatal("expected deadline misses under overload")
+	}
+}
+
+func TestRunTimedModularWorstCaseResponse(t *testing.T) {
+	// On the same workload, the modular baseline's per-event service time
+	// includes the dynamic-scheduler cascade, so its worst-case response
+	// exceeds QSS's — the real-time argument for quasi-static scheduling.
+	n := figures.Figure4()
+	t1, _ := n.TransitionByName("t1")
+	t2, _ := n.TransitionByName("t2")
+	t3, _ := n.TransitionByName("t3")
+	t4, _ := n.TransitionByName("t4")
+	t5, _ := n.TransitionByName("t5")
+	modProg, err := codegen.GenerateModular(n, []codegen.Module{
+		{Name: "in", Transitions: []petri.Transition{t1}},
+		{Name: "branch", Transitions: []petri.Transition{t2, t3}},
+		{Name: "out", Transitions: []petri.Transition{t4, t5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := rtos.Periodic(t1, 50, 0, 25)
+	cost := rtos.DefaultCostModel()
+	dsQ := NewDecisionStream(n, 9)
+	qssT, err := RunTimed(qssProgram(t, n), events, cost,
+		TimedConfig{CyclesPerTick: 10}, Hooks{Resolver: dsQ.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsM := NewDecisionStream(n, 9)
+	modT, err := RunTimed(modProg, events, cost,
+		TimedConfig{CyclesPerTick: 10, Modular: true}, Hooks{Resolver: dsM.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modT.ResponseMax <= qssT.ResponseMax {
+		t.Fatalf("modular worst response %d must exceed QSS %d",
+			modT.ResponseMax, qssT.ResponseMax)
+	}
+}
+
+func TestRunTimedValidation(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	ds := NewDecisionStream(n, 1)
+	if _, err := RunTimed(prog, nil, rtos.DefaultCostModel(),
+		TimedConfig{}, Hooks{Resolver: ds.Resolver()}); err == nil {
+		t.Fatal("zero CyclesPerTick accepted")
+	}
+	t2, _ := n.TransitionByName("t2")
+	if _, err := RunTimed(prog, []rtos.Event{{Source: t2}}, rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 1}, Hooks{Resolver: ds.Resolver()}); err == nil {
+		t.Fatal("non-source event accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package fcpn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fcpn/internal/atm"
+	"fcpn/internal/figures"
+	"fcpn/internal/petri"
+)
+
+// TestShippedNetFiles keeps examples/nets/*.pn in sync with the canonical
+// constructors in internal/figures: each file must parse and serialise to
+// exactly the constructor's Format output.
+func TestShippedNetFiles(t *testing.T) {
+	all := figures.All()
+	files, err := filepath.Glob("examples/nets/*.pn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(all)+1 { // figures + atmserver.pn
+		t.Fatalf("have %d .pn files, want %d (one per figure + atmserver)", len(files), len(all)+1)
+	}
+	for _, path := range files {
+		name := filepath.Base(path)
+		name = name[:len(name)-len(".pn")]
+		if name == "atmserver" {
+			continue // checked by TestShippedATMNet
+		}
+		want, ok := all[name]
+		if !ok {
+			t.Fatalf("unexpected net file %s", path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := petri.ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if petri.Format(n) != petri.Format(want) {
+			t.Fatalf("%s is out of sync with figures.%s:\n--- file ---\n%s--- constructor ---\n%s",
+				path, name, petri.Format(n), petri.Format(want))
+		}
+	}
+}
+
+// TestShippedNetsVerdicts pins each shipped net's schedulability verdict,
+// so the sample files double as regression inputs for the CLI.
+func TestShippedNetsVerdicts(t *testing.T) {
+	verdicts := map[string]bool{
+		"figure2":  true,
+		"figure3a": true,
+		"figure3b": false,
+		"figure4":  true,
+		"figure5":  true,
+		"figure7":  false,
+	}
+	for name, want := range verdicts {
+		data, err := os.ReadFile(filepath.Join("examples", "nets", name+".pn"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := MustParseString(string(data))
+		if got := Schedulable(n, Options{}); got != want {
+			t.Fatalf("%s: schedulable = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestShippedATMNet keeps the shipped ATM sample in sync with the model
+// constructor and pins its headline numbers.
+func TestShippedATMNet(t *testing.T) {
+	data, err := os.ReadFile("examples/nets/atmserver.pn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := MustParseString(string(data))
+	if petri.Format(n) != petri.Format(atm.New().Net) {
+		t.Fatal("examples/nets/atmserver.pn out of sync with internal/atm.New")
+	}
+	if n.NumTransitions() != 49 || n.NumPlaces() != 41 || len(n.FreeChoiceSets()) != 11 {
+		t.Fatalf("shape = %d/%d/%d", n.NumTransitions(), n.NumPlaces(), len(n.FreeChoiceSets()))
+	}
+	s, err := Solve(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cycles) != 56 {
+		t.Fatalf("cycles = %d, want 56", len(s.Cycles))
+	}
+}
