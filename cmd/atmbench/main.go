@@ -1,6 +1,13 @@
 // Command atmbench regenerates Table I of the paper: the QSS
 // implementation of the ATM server versus the functional five-task
 // partitioning, on the 50-cell testbench.
+//
+// With -faults it instead runs the robustness experiment: the same
+// testbench replayed under seeded fault scenarios (event bursts,
+// duplicates, losses, tick jitter, task overruns) against a bounded
+// ingress queue, verifying the statically computed buffer bounds at
+// runtime. The report is deterministic: the same seed reproduces it
+// byte-for-byte.
 package main
 
 import (
@@ -28,6 +35,20 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 0xA7151915, "workload seed")
 	activation := fs.Int64("activation", 150, "RTOS task activation cost (cycles)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	faults := fs.Bool("faults", false, "run the fault-injection robustness experiment instead of Table I")
+	scenarios := fs.Int("scenarios", 10, "with -faults: number of seeded fault scenarios")
+	faultSeed := fs.Uint64("fault-seed", 0xFA117, "with -faults: scenario seed")
+	burstPct := fs.Int("burst-pct", 0, "with -faults: percent of cells that arrive in bursts (0 = mixed catalogue)")
+	burstExtra := fs.Int("burst-extra", 3, "with -faults: extra back-to-back copies per bursting cell")
+	dupPct := fs.Int("dup-pct", 0, "with -faults: percent of events delivered twice")
+	dropPct := fs.Int("drop-pct", 0, "with -faults: percent of events lost")
+	tickJitter := fs.Int64("tick-jitter", 0, "with -faults: reorder ticks by +-N time units")
+	queueCap := fs.Int("queue-cap", 0, "with -faults: ingress event-queue capacity (0 = unbounded)")
+	policyName := fs.String("queue-policy", "drop-newest", "with -faults: overflow policy (drop-newest, drop-oldest, reject)")
+	deadline := fs.Int64("deadline", 0, "with -faults: per-event response deadline in cycles (0 = off)")
+	overrunPct := fs.Int("overrun-pct", 0, "with -faults: worst-case per-dispatch task overrun in percent")
+	stepBudget := fs.Int("step-budget", 0, "with -faults: interpreter step budget per scenario (0 = default)")
+	cyclesPerTick := fs.Int64("cycles-per-tick", 0, "with -faults: cycles per workload time unit (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,6 +58,43 @@ func run(args []string, stdout io.Writer) error {
 	wl.Seed = *seed
 	cost := rtos.DefaultCostModel()
 	cost.Activation = *activation
+
+	if *faults {
+		policy, err := rtos.ParsePolicy(*policyName)
+		if err != nil {
+			return err
+		}
+		rep, err := atm.RunRobustness(atm.RobustnessConfig{
+			Workload:      wl,
+			CyclesPerTick: *cyclesPerTick,
+			Scenarios:     *scenarios,
+			FaultSeed:     *faultSeed,
+			BurstPct:      *burstPct,
+			BurstExtra:    *burstExtra,
+			DupPct:        *dupPct,
+			DropPct:       *dropPct,
+			TickJitter:    *tickJitter,
+			QueueCapacity: *queueCap,
+			Policy:        policy,
+			Deadline:      *deadline,
+			OverrunPct:    *overrunPct,
+			StepBudget:    *stepBudget,
+		}, cost)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		fmt.Fprint(stdout, rep.Format())
+		if v := rep.TotalViolations(); v > 0 {
+			return fmt.Errorf("%d static buffer bound violation(s)", v)
+		}
+		fmt.Fprintln(stdout, "\nall static buffer bounds held under fault injection")
+		return nil
+	}
 
 	res, err := atm.RunTableI(wl, cost)
 	if err != nil {

@@ -41,3 +41,47 @@ func TestRunJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFaultsDeterministic(t *testing.T) {
+	args := []string{"-faults", "-cells", "20", "-scenarios", "4",
+		"-queue-cap", "8", "-queue-policy", "drop-oldest",
+		"-deadline", "20000", "-overrun-pct", "10"}
+	var first, second strings.Builder
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	got := first.String()
+	for _, frag := range []string{
+		"robustness of net", "8 (drop-oldest)", "scenario", "violations",
+		"all static buffer bounds held under fault injection",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if got != second.String() {
+		t.Fatalf("same seed produced different reports:\n--- first\n%s--- second\n%s", got, second.String())
+	}
+}
+
+func TestRunFaultsCustomInjectors(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-faults", "-cells", "15", "-scenarios", "3",
+		"-burst-pct", "40", "-drop-pct", "10", "-tick-jitter", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "custom-01") {
+		t.Fatalf("custom injector scenarios not used:\n%s", out.String())
+	}
+}
+
+func TestRunFaultsBadPolicy(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-faults", "-queue-policy", "fifo"}, &out); err == nil {
+		t.Fatal("unknown policy not rejected")
+	}
+}

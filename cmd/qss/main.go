@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	qss [-c] [-standalone] [-schedule] [-tasks] [-bounds] [file.pn]
+//	qss [-c] [-standalone] [-guards] [-schedule] [-tasks] [-bounds]
+//	    [-verify-bounds] [file.pn]
 //
 // With no file the net is read from stdin. With no mode flags, -schedule
-// is assumed.
+// is assumed. -verify-bounds replays the synthesised implementation under
+// seeded fault scenarios (bursts, duplicates, losses, timer jitter) and
+// checks the observed buffer peaks against the net's structural bounds;
+// -guards emits runtime overflow checks into the generated C.
 package main
 
 import (
@@ -22,6 +26,9 @@ import (
 	"fcpn"
 	"fcpn/internal/codegen"
 	"fcpn/internal/core"
+	"fcpn/internal/fault"
+	"fcpn/internal/rtos"
+	"fcpn/internal/sim"
 )
 
 func main() {
@@ -46,6 +53,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	showTree := fs.Bool("tree", false, "print the schedule as a decision tree")
 	treeDot := fs.Bool("tree-dot", false, "print the decision tree as Graphviz dot")
 	maxAlloc := fs.Int("max-allocations", 0, "cap on T-allocations (0 = default)")
+	guards := fs.Bool("guards", false, "with -c: emit runtime overflow checks against the static buffer bounds")
+	verifyBounds := fs.Bool("verify-bounds", false, "replay the schedule under seeded fault scenarios and check buffer bounds")
+	scenarios := fs.Int("scenarios", 10, "with -verify-bounds: number of seeded fault scenarios")
+	faultSeed := fs.Uint64("fault-seed", 0xFA117, "with -verify-bounds: scenario seed")
+	eventsPer := fs.Int("events", 50, "with -verify-bounds: workload events per source transition")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,7 +84,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	if !*emitC && !*emitH && !*showTasks && !*showBounds && !*explore && !*asJSON && !*showIR && !*showTree && !*treeDot {
+	if !*emitC && !*emitH && !*showTasks && !*showBounds && !*explore && !*asJSON && !*showIR && !*showTree && !*treeDot && !*verifyBounds {
 		*showSchedule = true
 	}
 	if *emitH {
@@ -143,8 +155,88 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				pt.Strategy, pt.TotalBufferBound, pt.MaxBufferBound, pt.Switches)
 		}
 	}
-	if *emitC {
-		fmt.Fprint(stdout, syn.C(*standalone))
+	if *verifyBounds {
+		if err := runVerifyBounds(stdout, syn, *scenarios, *faultSeed, *eventsPer); err != nil {
+			return err
+		}
 	}
+	if *emitC {
+		cfg := codegen.CConfig{Standalone: *standalone}
+		if *guards {
+			bounds, err := syn.BufferBounds()
+			if err != nil {
+				return err
+			}
+			cfg.Guards = true
+			cfg.Bounds = bounds
+		}
+		fmt.Fprint(stdout, codegen.EmitC(syn.Program, cfg))
+	}
+	return nil
+}
+
+// runVerifyBounds replays the synthesised implementation under n seeded
+// fault scenarios, resolving choices from each scenario's seed, and
+// checks the observed per-place peaks against the net's structural
+// (P-invariant) bounds — the executable form of the schedulability
+// theorem's bounded-memory claim. Per-cycle schedule bounds are reported
+// as backlog (expected under bursts), not as violations.
+func runVerifyBounds(stdout io.Writer, syn *fcpn.Synthesis, n int, seed uint64, eventsPer int) error {
+	net := syn.Net
+	sources := net.SourceTransitions()
+	if len(sources) == 0 {
+		fmt.Fprintln(stdout, "verify-bounds: net has no source transitions; nothing to replay")
+		return nil
+	}
+	if eventsPer <= 0 {
+		eventsPer = 50
+	}
+	var streams [][]rtos.Event
+	for i, src := range sources {
+		// Deterministic co-prime-ish periods so the sources interleave.
+		streams = append(streams, rtos.Periodic(src, int64(2*i+3), int64(i), eventsPer))
+	}
+	base := rtos.Merge(streams...)
+	limits, err := sim.StructuralLimits(net)
+	if err != nil {
+		return err
+	}
+	cycleLimits, err := syn.BufferBounds()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "verify-bounds: %d scenarios x %d events over %d source(s)\n",
+		n, len(base), len(sources))
+	fmt.Fprintf(stdout, "  %-16s %8s %8s %10s %8s %8s\n",
+		"scenario", "served", "dropped", "violations", "backlog", "peak")
+	total := 0
+	for _, sc := range fault.DefaultScenarios(n, seed) {
+		events := sc.Apply(base)
+		ds := sim.NewDecisionStream(net, sc.Seed)
+		rm, err := sim.RunRobust(syn.Program, events, rtos.DefaultCostModel(), sim.RobustConfig{
+			Limits:      limits,
+			CycleLimits: cycleLimits,
+		}, sim.Hooks{Resolver: ds.Resolver()})
+		if err != nil {
+			return fmt.Errorf("verify-bounds: scenario %s: %w", sc.Name, err)
+		}
+		maxPeak := 0
+		for _, p := range rm.PeakCounters {
+			if p > maxPeak {
+				maxPeak = p
+			}
+		}
+		fmt.Fprintf(stdout, "  %-16s %8d %8d %10d %8d %8d\n",
+			sc.Name, rm.Events, rm.DroppedEvents, rm.BoundViolations, len(rm.CycleExceedances), maxPeak)
+		for _, v := range rm.Violations {
+			fmt.Fprintf(stdout, "    violation: %s\n", v)
+		}
+		total += rm.BoundViolations
+	}
+	if total > 0 {
+		return fmt.Errorf("verify-bounds: %d structural bound violation(s)", total)
+	}
+	fmt.Fprintln(stdout, "  all structural bounds held")
 	return nil
 }

@@ -186,3 +186,53 @@ func TestRunOnShippedATM(t *testing.T) {
 		t.Fatalf("missing shared transition:\n%s", got)
 	}
 }
+
+func TestRunVerifyBounds(t *testing.T) {
+	var first, second strings.Builder
+	if err := run([]string{"-verify-bounds", "-scenarios", "5", "-events", "20"}, strings.NewReader(fig4), &first); err != nil {
+		t.Fatal(err)
+	}
+	got := first.String()
+	for _, frag := range []string{"verify-bounds:", "scenario", "all structural bounds held"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+	if err := run([]string{"-verify-bounds", "-scenarios", "5", "-events", "20"}, strings.NewReader(fig4), &second); err != nil {
+		t.Fatal(err)
+	}
+	if got != second.String() {
+		t.Fatalf("same seed produced different reports:\n--- first\n%s--- second\n%s", got, second.String())
+	}
+	var other strings.Builder
+	if err := run([]string{"-verify-bounds", "-scenarios", "5", "-events", "20", "-fault-seed", "99"}, strings.NewReader(fig4), &other); err != nil {
+		t.Fatal(err)
+	}
+	if got == other.String() {
+		t.Fatal("different fault seeds produced identical reports")
+	}
+}
+
+func TestRunEmitCGuards(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-c", "-guards"}, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"extern void fcpn_overflow(const char *place, int count, int bound);",
+		"fcpn_overflow(",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("guarded C missing %q:\n%s", frag, got)
+		}
+	}
+	// Without -guards the handler must not appear.
+	var plain strings.Builder
+	if err := run([]string{"-c"}, strings.NewReader(fig4), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "fcpn_overflow") {
+		t.Fatal("ungated overflow guard in plain C output")
+	}
+}

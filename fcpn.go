@@ -1,6 +1,7 @@
 package fcpn
 
 import (
+	"fmt"
 	"io"
 
 	"fcpn/internal/codegen"
@@ -61,6 +62,42 @@ var ErrNotFreeChoice = petri.ErrNotFreeChoice
 
 // NewBuilder starts a new net with the given name.
 func NewBuilder(name string) *Builder { return petri.NewBuilder(name) }
+
+// BuildError reports structural misuse during programmatic net
+// construction (duplicate names, unknown endpoints, non-positive weights,
+// negative markings). Build converts the internal builder's panics into
+// this type at the public API boundary.
+type BuildError struct {
+	// Reason is the builder's diagnosis.
+	Reason string
+}
+
+func (e *BuildError) Error() string { return "fcpn: invalid net construction: " + e.Reason }
+
+// Build constructs a net programmatically, converting builder panics on
+// malformed input into a *BuildError. The internal builder panics by
+// design (nets are normally built by trusted code); Build is the safe
+// boundary for callers assembling nets from untrusted or computed input:
+//
+//	net, err := fcpn.Build("demo", func(b *fcpn.Builder) {
+//	        p := b.Place(userName) // may panic on duplicates...
+//	        b.Arc(p, b.Transition("t"))
+//	})                             // ...returned here as *BuildError
+func Build(name string, construct func(*Builder)) (n *Net, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &BuildError{Reason: fmt.Sprint(r)}
+		}
+	}()
+	b := petri.NewBuilder(name)
+	construct(b)
+	return b.Build(), nil
+}
+
+// ErrBudgetExceeded is the typed cause behind every structured step
+// budget in the pipeline (schedule search caps, interpreter op budgets,
+// robust-simulation step budgets). Test with errors.Is.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
 
 // NewSystem starts a process-network specification; compile it with
 // (*System).Compile and pass the net to Synthesize.

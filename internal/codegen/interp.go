@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fcpn/internal/core"
 	"fcpn/internal/petri"
 )
 
@@ -21,12 +22,21 @@ type ExecStats struct {
 	Ops int
 	// MaxCounter is the largest value any place counter reached.
 	MaxCounter int
+	// MaxCounters[p] is the peak value of place p's counter over the run
+	// (starting from the initial marking): the per-place memory bound
+	// actually exercised, checked against static buffer bounds by the
+	// robustness layer.
+	MaxCounters []int
 }
 
 // ErrRunaway is returned when a guard loop exceeds the iteration cap: the
 // generated code would not terminate (which a correct QSS program never
 // does).
 var ErrRunaway = errors.New("codegen: guard loop exceeded iteration cap")
+
+// ErrBudgetExceeded is re-exported from core: the typed cause behind every
+// structured step budget. Interp.MaxOps failures wrap it.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
 
 // Interp executes generated task code against counter state.
 type Interp struct {
@@ -39,6 +49,12 @@ type Interp struct {
 	OnFire func(t petri.Transition)
 	// MaxLoop caps iterations of a single while guard (default 1 << 20).
 	MaxLoop int
+	// MaxOps, when positive, bounds the total interpreter steps of the
+	// run; exceeding it returns an error wrapping ErrBudgetExceeded. This
+	// is the execution-side analogue of core.Options.MaxCycleLength: a
+	// hostile workload or a wrong schedule terminates instead of running
+	// away.
+	MaxOps int
 
 	// Step tracing (see StartTrace / TraceTail).
 	tracing    bool
@@ -56,6 +72,7 @@ func NewInterp(prog *Program, resolve ChoiceResolver) *Interp {
 		MaxLoop:  1 << 20,
 	}
 	in.Stats.Fired = make([]int, prog.Net.NumTransitions())
+	in.Stats.MaxCounters = append([]int(nil), in.Counters...)
 	return in
 }
 
@@ -103,6 +120,9 @@ func (in *Interp) totalFired() int {
 
 func (in *Interp) exec(nodes []Node) error {
 	for _, node := range nodes {
+		if in.MaxOps > 0 && in.Stats.Ops >= in.MaxOps {
+			return fmt.Errorf("codegen: %w after %d interpreter ops", ErrBudgetExceeded, in.Stats.Ops)
+		}
 		switch x := node.(type) {
 		case FireNode:
 			in.Stats.Fired[x.T]++
@@ -115,6 +135,9 @@ func (in *Interp) exec(nodes []Node) error {
 			in.Counters[x.P] += x.By
 			if in.Counters[x.P] > in.Stats.MaxCounter {
 				in.Stats.MaxCounter = in.Counters[x.P]
+			}
+			if in.Counters[x.P] > in.Stats.MaxCounters[x.P] {
+				in.Stats.MaxCounters[x.P] = in.Counters[x.P]
 			}
 			in.Stats.Ops++
 			in.record(TraceEntry{Op: "inc", Place: x.P, By: x.By})

@@ -64,6 +64,14 @@ func (o Options) maxCycleLength() int {
 // Options.MaxAllocations.
 var ErrTooManyAllocations = errors.New("core: too many T-allocations")
 
+// ErrBudgetExceeded is the typed cause for every structured step budget in
+// the pipeline: cycle realisation past Options.MaxCycleLength, interpreter
+// execution past its op budget (codegen.Interp.MaxOps), and robust
+// simulation past its step budget all wrap it, so hostile or
+// non-schedulable inputs terminate with errors.Is(err, ErrBudgetExceeded)
+// instead of running away.
+var ErrBudgetExceeded = errors.New("step budget exceeded")
+
 // ErrNotFreeChoice wraps structural validation failures.
 var ErrNotFreeChoice = petri.ErrNotFreeChoice
 

@@ -38,7 +38,7 @@ func FindCompleteCycle(n *petri.Net, counts []int, maxLen int) ([]petri.Transiti
 		total += c
 	}
 	if total > maxLen {
-		return nil, fmt.Errorf("core: cycle of %d firings exceeds cap %d", total, maxLen)
+		return nil, fmt.Errorf("core: cycle of %d firings exceeds cap %d: %w", total, maxLen, ErrBudgetExceeded)
 	}
 	remaining := append([]int(nil), counts...)
 	m := n.InitialMarking()

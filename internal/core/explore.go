@@ -61,7 +61,7 @@ func FindCompleteCycleStrategy(n *petri.Net, counts []int, maxLen int, strat Cyc
 		total += c
 	}
 	if total > maxLen {
-		return nil, fmt.Errorf("core: cycle of %d firings exceeds cap %d", total, maxLen)
+		return nil, fmt.Errorf("core: cycle of %d firings exceeds cap %d: %w", total, maxLen, ErrBudgetExceeded)
 	}
 	remaining := append([]int(nil), counts...)
 	m := n.InitialMarking()

@@ -1,0 +1,31 @@
+package fault
+
+import "fcpn/internal/rtos"
+
+// CostJitter perturbs the kernel cost model per dispatch, modelling task
+// overruns: the k-th dispatch runs up to MaxPct percent slower than the
+// nominal cost model. The perturbation is a pure function of (Seed,
+// dispatch index), so runs reproduce exactly.
+type CostJitter struct {
+	Seed uint64
+	// MaxPct is the maximum overrun, in percent of the nominal costs
+	// (40 = the slowest dispatch takes 1.4x nominal).
+	MaxPct int
+}
+
+// Perturb returns the cost model for one dispatch. The activation, firing
+// and per-operation costs scale together (the whole task body runs slow);
+// the interrupt and poll costs are unchanged (they are kernel work, not
+// task work).
+func (j *CostJitter) Perturb(base rtos.CostModel, dispatch int64) rtos.CostModel {
+	if j == nil || j.MaxPct <= 0 {
+		return base
+	}
+	r := NewRand(j.Seed ^ (uint64(dispatch)+1)*0xA0761D6478BD642F)
+	pct := int64(100 + r.Intn(j.MaxPct+1))
+	out := base
+	out.Activation = base.Activation * pct / 100
+	out.Fire = base.Fire * pct / 100
+	out.Op = base.Op * pct / 100
+	return out
+}

@@ -1,0 +1,142 @@
+package rtos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OverflowPolicy selects what a bounded event queue does when an event
+// arrives at a full queue.
+type OverflowPolicy int
+
+const (
+	// DropNewest discards the arriving event (tail drop).
+	DropNewest OverflowPolicy = iota
+	// DropOldest discards the oldest queued event to admit the new one
+	// (ring-buffer overwrite: freshest-data-wins, typical for sensors).
+	DropOldest
+	// Reject refuses the arriving event and counts it as rejected
+	// (backpressure: the environment is told to retry).
+	Reject
+)
+
+// String names the policy as accepted by ParsePolicy.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	case Reject:
+		return "reject"
+	}
+	return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+}
+
+// ParsePolicy parses an overflow policy name (drop-newest, drop-oldest,
+// reject).
+func ParsePolicy(s string) (OverflowPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "drop-newest", "dropnewest":
+		return DropNewest, nil
+	case "drop-oldest", "dropoldest":
+		return DropOldest, nil
+	case "reject":
+		return Reject, nil
+	}
+	return 0, fmt.Errorf("rtos: unknown overflow policy %q (want drop-newest, drop-oldest or reject)", s)
+}
+
+// QueueConfig sizes a bounded event queue. Capacity <= 0 means unbounded
+// (the idealised queue of the original simulator).
+type QueueConfig struct {
+	Capacity int
+	Policy   OverflowPolicy
+}
+
+// QueuedEvent is one admitted event with its arrival clock (in cycles),
+// kept so response times survive queueing delays and drop-oldest
+// displacement.
+type QueuedEvent struct {
+	Ev      Event
+	Arrival int64
+}
+
+// EventQueue is a FIFO ingress queue with a capacity and an overflow
+// policy. It records how many events were lost and how.
+type EventQueue struct {
+	cfg QueueConfig
+	buf []QueuedEvent
+	// Dropped counts events discarded by DropNewest or displaced by
+	// DropOldest; Rejected counts events refused under Reject.
+	Dropped, Rejected int64
+}
+
+// NewEventQueue builds a queue with the given bound and policy.
+func NewEventQueue(cfg QueueConfig) *EventQueue { return &EventQueue{cfg: cfg} }
+
+// Config reports the queue's configuration.
+func (q *EventQueue) Config() QueueConfig { return q.cfg }
+
+// Len is the number of queued events.
+func (q *EventQueue) Len() int { return len(q.buf) }
+
+// Lost is the total number of events not served (dropped + rejected).
+func (q *EventQueue) Lost() int64 { return q.Dropped + q.Rejected }
+
+// Offer admits one event arriving at the given clock. It reports whether
+// the event was enqueued; a full bounded queue applies the overflow
+// policy (under DropOldest the new event is always admitted, at the cost
+// of the head).
+func (q *EventQueue) Offer(ev Event, arrival int64) bool {
+	if q.cfg.Capacity > 0 && len(q.buf) >= q.cfg.Capacity {
+		switch q.cfg.Policy {
+		case DropNewest:
+			q.Dropped++
+			return false
+		case Reject:
+			q.Rejected++
+			return false
+		case DropOldest:
+			q.buf = q.buf[1:]
+			q.Dropped++
+		}
+	}
+	q.buf = append(q.buf, QueuedEvent{Ev: ev, Arrival: arrival})
+	return true
+}
+
+// Pop removes and returns the oldest queued event.
+func (q *EventQueue) Pop() (QueuedEvent, bool) {
+	if len(q.buf) == 0 {
+		return QueuedEvent{}, false
+	}
+	head := q.buf[0]
+	q.buf = q.buf[1:]
+	return head, true
+}
+
+// Watchdog tracks per-event deadline misses: the kernel feeds it every
+// completed event's response time (arrival to completion, in cycles).
+type Watchdog struct {
+	// Budget is the per-event response-time deadline in cycles; 0 disables
+	// the watchdog.
+	Budget int64
+	// Misses counts events whose response exceeded the budget;
+	// WorstOverrun is the largest observed excess.
+	Misses       int64
+	WorstOverrun int64
+}
+
+// Observe records one event's response time, reporting whether it missed
+// the deadline.
+func (w *Watchdog) Observe(response int64) bool {
+	if w == nil || w.Budget <= 0 || response <= w.Budget {
+		return false
+	}
+	w.Misses++
+	if over := response - w.Budget; over > w.WorstOverrun {
+		w.WorstOverrun = over
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package rtos
+
+import (
+	"testing"
+
+	"fcpn/internal/petri"
+)
+
+func ev(src petri.Transition, t int64) Event { return Event{Source: src, Time: t} }
+
+func TestEventQueuePolicies(t *testing.T) {
+	src := petri.Transition(0)
+	cases := []struct {
+		policy       OverflowPolicy
+		wantAdmitted []int64 // arrival times left in the queue after 5 offers at cap 3
+		wantDropped  int64
+		wantRejected int64
+		lastOfferOK  bool
+	}{
+		{DropNewest, []int64{0, 1, 2}, 2, 0, false},
+		{DropOldest, []int64{2, 3, 4}, 2, 0, true},
+		{Reject, []int64{0, 1, 2}, 0, 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.policy.String(), func(t *testing.T) {
+			q := NewEventQueue(QueueConfig{Capacity: 3, Policy: tc.policy})
+			ok := false
+			for i := int64(0); i < 5; i++ {
+				ok = q.Offer(ev(src, i), i)
+			}
+			if ok != tc.lastOfferOK {
+				t.Fatalf("last Offer = %v, want %v", ok, tc.lastOfferOK)
+			}
+			if q.Dropped != tc.wantDropped || q.Rejected != tc.wantRejected {
+				t.Fatalf("dropped=%d rejected=%d, want %d/%d",
+					q.Dropped, q.Rejected, tc.wantDropped, tc.wantRejected)
+			}
+			if q.Lost() != tc.wantDropped+tc.wantRejected {
+				t.Fatalf("Lost=%d", q.Lost())
+			}
+			var got []int64
+			for {
+				qe, ok := q.Pop()
+				if !ok {
+					break
+				}
+				got = append(got, qe.Arrival)
+			}
+			if len(got) != len(tc.wantAdmitted) {
+				t.Fatalf("queue held %v, want %v", got, tc.wantAdmitted)
+			}
+			for i := range got {
+				if got[i] != tc.wantAdmitted[i] {
+					t.Fatalf("queue held %v, want %v", got, tc.wantAdmitted)
+				}
+			}
+		})
+	}
+}
+
+func TestEventQueueUnbounded(t *testing.T) {
+	q := NewEventQueue(QueueConfig{})
+	for i := int64(0); i < 1000; i++ {
+		if !q.Offer(ev(petri.Transition(0), i), i) {
+			t.Fatal("unbounded queue refused an event")
+		}
+	}
+	if q.Len() != 1000 || q.Lost() != 0 {
+		t.Fatalf("len=%d lost=%d", q.Len(), q.Lost())
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	q := NewEventQueue(QueueConfig{Capacity: 1})
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported an event")
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	w := &Watchdog{Budget: 100}
+	if w.Observe(100) {
+		t.Fatal("response == budget is not a miss")
+	}
+	if !w.Observe(150) {
+		t.Fatal("response 150 > budget 100 must miss")
+	}
+	w.Observe(130)
+	if w.Misses != 2 || w.WorstOverrun != 50 {
+		t.Fatalf("misses=%d worst=%d", w.Misses, w.WorstOverrun)
+	}
+	var nilW *Watchdog
+	if nilW.Observe(1 << 30) {
+		t.Fatal("nil watchdog must never miss")
+	}
+	off := &Watchdog{}
+	if off.Observe(1 << 30) {
+		t.Fatal("zero budget disables the watchdog")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want OverflowPolicy
+	}{
+		{"drop-newest", DropNewest},
+		{"DropOldest", DropOldest},
+		{" reject ", Reject},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+	if _, err := ParsePolicy("fifo"); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}
+
+func TestKernelAdmitComplete(t *testing.T) {
+	k := NewKernel(DefaultCostModel())
+	// No queue: every event is admitted and only the interrupt is charged.
+	if !k.Admit(ev(petri.Transition(0), 0), 0) {
+		t.Fatal("queueless kernel must admit")
+	}
+	k.Queue = NewEventQueue(QueueConfig{Capacity: 1, Policy: Reject})
+	k.Watch = &Watchdog{Budget: 10}
+	if !k.Admit(ev(petri.Transition(0), 1), 1) {
+		t.Fatal("first event fits")
+	}
+	if k.Admit(ev(petri.Transition(0), 2), 2) {
+		t.Fatal("second event must be rejected at capacity 1")
+	}
+	if !k.Complete(25) {
+		t.Fatal("response 25 > deadline 10 must register a miss")
+	}
+	if k.Watch.Misses != 1 {
+		t.Fatalf("misses=%d", k.Watch.Misses)
+	}
+}

@@ -48,7 +48,9 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Kernel accumulates cycle costs and activation counts.
+// Kernel accumulates cycle costs and activation counts. A kernel may
+// optionally carry a bounded ingress queue and a deadline watchdog (the
+// robustness layer); both are nil in the idealised simulator.
 type Kernel struct {
 	Cost        CostModel
 	Cycles      int64
@@ -57,11 +59,34 @@ type Kernel struct {
 	Interrupts  int64
 	// PerTask counts activations per task name.
 	PerTask map[string]int64
+	// Queue, when set, bounds event ingress (see Admit).
+	Queue *EventQueue
+	// Watch, when set, records per-event deadline misses (see Complete).
+	Watch *Watchdog
 }
 
 // NewKernel returns a kernel with the given cost model.
 func NewKernel(cost CostModel) *Kernel {
 	return &Kernel{Cost: cost, PerTask: make(map[string]int64)}
+}
+
+// Admit delivers one external event arriving at the given clock: the
+// interrupt cost is always charged (the hardware fired regardless), then
+// the event is offered to the ingress queue under its overflow policy.
+// Without a queue the event is accepted unconditionally but not stored.
+// It reports whether the event was admitted for service.
+func (k *Kernel) Admit(ev Event, arrival int64) bool {
+	k.Interrupt()
+	if k.Queue == nil {
+		return true
+	}
+	return k.Queue.Offer(ev, arrival)
+}
+
+// Complete records one served event's response time with the watchdog (a
+// no-op without one), reporting whether the deadline was missed.
+func (k *Kernel) Complete(response int64) bool {
+	return k.Watch.Observe(response)
 }
 
 // Activate charges one task dispatch.

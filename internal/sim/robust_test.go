@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"fcpn/internal/core"
+	"fcpn/internal/fault"
+	"fcpn/internal/figures"
+	"fcpn/internal/rtos"
+)
+
+// TestRunRobustPolicyInjectorMatrix exercises every overflow policy
+// against every injector kind: the simulator must never panic, must stay
+// deterministic, and a valid schedule must never violate the structural
+// bounds regardless of what the environment does to the event stream.
+func TestRunRobustPolicyInjectorMatrix(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	base := rtos.Periodic(t1, 10, 0, 40)
+	limits, err := StructuralLimits(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := rtos.DefaultCostModel()
+
+	policies := []rtos.OverflowPolicy{rtos.DropNewest, rtos.DropOldest, rtos.Reject}
+	injectors := []struct {
+		name string
+		inj  fault.Injector
+	}{
+		{"burst", fault.Burst{Pct: 60, Extra: 3, Source: fault.AnySource}},
+		{"duplicate", fault.Duplicate{Pct: 50, Source: fault.AnySource}},
+		{"drop", fault.Drop{Pct: 30, Source: fault.AnySource}},
+		{"jitter", fault.JitterTicks{Window: 15, Source: fault.AnySource}},
+	}
+
+	for _, pol := range policies {
+		for _, tc := range injectors {
+			t.Run(pol.String()+"/"+tc.name, func(t *testing.T) {
+				sc := fault.Scenario{Name: tc.name, Seed: 0xFA117, Injectors: []fault.Injector{tc.inj}}
+				events := sc.Apply(base)
+				cfg := RobustConfig{
+					Queue:    rtos.QueueConfig{Capacity: 4, Policy: pol},
+					Deadline: 5000,
+					Jitter:   &fault.CostJitter{Seed: sc.Seed, MaxPct: 25},
+					Limits:   limits,
+				}
+				run := func() *RobustMetrics {
+					ds := NewDecisionStream(n, sc.Seed)
+					rm, err := RunRobust(prog, events, cost, cfg, Hooks{Resolver: ds.Resolver()})
+					if err != nil {
+						t.Fatalf("%s under %s: %v", pol, tc.name, err)
+					}
+					return rm
+				}
+				rm := run()
+				if rm.BoundViolations != 0 {
+					t.Fatalf("structural bound violations under %s/%s: %v", pol, tc.name, rm.Violations)
+				}
+				// DroppedEvents counts both kinds of loss, so served + lost
+				// must account for every injected event.
+				if int64(rm.Events)+rm.DroppedEvents != int64(len(events)) {
+					t.Fatalf("event accounting: served %d + lost %d != injected %d",
+						rm.Events, rm.DroppedEvents, len(events))
+				}
+				switch pol {
+				case rtos.Reject:
+					// Under Reject all losses are rejections.
+					if rm.DroppedEvents != rm.RejectedEvents {
+						t.Fatalf("reject policy counted %d lost but %d rejected",
+							rm.DroppedEvents, rm.RejectedEvents)
+					}
+				default:
+					if rm.RejectedEvents != 0 {
+						t.Fatalf("%s policy rejected %d events", pol, rm.RejectedEvents)
+					}
+				}
+				// Byte-identical replay with the same seed.
+				if again := run(); !reflect.DeepEqual(rm, again) {
+					t.Fatalf("non-deterministic robust run under %s/%s", pol, tc.name)
+				}
+			})
+		}
+	}
+}
+
+// TestRunRobustBacklogExceedsCycleBounds shows the two-bound design: an
+// unbounded queue under a heavy burst exceeds the per-cycle schedule
+// bounds (backlog), while the structural bounds still hold.
+func TestRunRobustBacklogExceedsCycleBounds(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	// All 60 events at t=0: maximal backlog.
+	events := make([]rtos.Event, 60)
+	for i := range events {
+		events[i] = rtos.Event{Time: 0, Source: t1}
+	}
+	limits, err := StructuralLimits(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.Solve(n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycleLimits, err := ScheduleLimits(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDecisionStream(n, 7)
+	rm, err := RunRobust(prog, events, rtos.DefaultCostModel(),
+		RobustConfig{Limits: limits, CycleLimits: cycleLimits},
+		Hooks{Resolver: ds.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.BoundViolations != 0 {
+		t.Fatalf("structural bounds must hold even under backlog: %v", rm.Violations)
+	}
+	if rm.Events != 60 || rm.DroppedEvents != 0 {
+		t.Fatalf("unbounded queue served %d, dropped %d", rm.Events, rm.DroppedEvents)
+	}
+}
+
+// TestRunRobustDetectsViolations proves the checker is live: impossibly
+// tight limits must be flagged, sorted by place.
+func TestRunRobustDetectsViolations(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	events := rtos.Periodic(t1, 10, 0, 10)
+	// Measure the real peaks first, then demand one fewer token than was
+	// observed on the busiest place: that limit must trip.
+	probe, err := RunRobust(prog, events, rtos.DefaultCostModel(),
+		RobustConfig{}, Hooks{Resolver: NewDecisionStream(n, 3).Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busiest, peak := -1, 0
+	for p, v := range probe.PeakCounters {
+		if v > peak {
+			busiest, peak = p, v
+		}
+	}
+	if busiest < 0 {
+		t.Fatal("no place ever held a token; cannot provoke a violation")
+	}
+	limits := make([]int, n.NumPlaces())
+	for i := range limits {
+		limits[i] = -1
+	}
+	limits[busiest] = peak - 1
+	ds := NewDecisionStream(n, 3)
+	rm, err := RunRobust(prog, events, rtos.DefaultCostModel(),
+		RobustConfig{Limits: limits}, Hooks{Resolver: ds.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.BoundViolations == 0 {
+		t.Fatalf("limit %d below observed peak %d did not trip the checker", peak-1, peak)
+	}
+	if len(rm.Violations) != rm.BoundViolations {
+		t.Fatalf("Violations length %d != BoundViolations %d", len(rm.Violations), rm.BoundViolations)
+	}
+	if rm.Violations[0].Bound != peak-1 || rm.Violations[0].Observed != peak {
+		t.Fatalf("violation detail: %+v", rm.Violations[0])
+	}
+	if rm.Violations[0].String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+func TestRunRobustStepBudget(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	events := rtos.Periodic(t1, 10, 0, 100)
+	ds := NewDecisionStream(n, 1)
+	rm, err := RunRobust(prog, events, rtos.DefaultCostModel(),
+		RobustConfig{StepBudget: 20}, Hooks{Resolver: ds.Resolver()})
+	if err == nil {
+		t.Fatal("a 20-op budget over 100 events must be exhausted")
+	}
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("error %v is not core.ErrBudgetExceeded", err)
+	}
+	if rm == nil || !rm.BudgetExhausted {
+		t.Fatalf("partial metrics missing or not flagged: %+v", rm)
+	}
+	if rm.Steps < 20 {
+		t.Fatalf("steps=%d below the budget it exhausted", rm.Steps)
+	}
+	if rm.Events >= 100 {
+		t.Fatalf("served all %d events despite the budget", rm.Events)
+	}
+}
+
+func TestZeroEventFastPaths(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	cost := rtos.DefaultCostModel()
+
+	qm, err := RunQSS(prog, nil, cost, 1)
+	if err != nil || qm.Events != 0 || qm.Cycles != 0 {
+		t.Fatalf("RunQSS zero events: %+v, %v", qm, err)
+	}
+	if len(qm.Fired) != n.NumTransitions() || qm.PerTask == nil {
+		t.Fatalf("empty metrics not fully shaped: %+v", qm)
+	}
+	mm, err := RunModular(prog, []rtos.Event{}, cost, 1)
+	if err != nil || mm.Events != 0 || mm.Cycles != 0 {
+		t.Fatalf("RunModular zero events: %+v, %v", mm, err)
+	}
+	tm, err := RunTimed(prog, nil, cost, TimedConfig{CyclesPerTick: 1}, Hooks{})
+	if err != nil || tm.Events != 0 {
+		t.Fatalf("RunTimed zero events: %+v, %v", tm, err)
+	}
+	rm, err := RunRobust(prog, nil, cost, RobustConfig{}, Hooks{})
+	if err != nil || rm.Events != 0 || rm.Makespan != 0 {
+		t.Fatalf("RunRobust zero events: %+v, %v", rm, err)
+	}
+	// The peak counters of an idle run are the initial marking.
+	if !reflect.DeepEqual(rm.PeakCounters, []int(n.InitialMarking())) {
+		t.Fatalf("idle peaks %v != initial marking %v", rm.PeakCounters, n.InitialMarking())
+	}
+}
+
+func TestRunRobustModularCascade(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	events := rtos.Periodic(t1, 10, 0, 10)
+	ds := NewDecisionStream(n, 5)
+	rm, err := RunRobust(prog, events, rtos.DefaultCostModel(),
+		RobustConfig{Modular: true}, Hooks{Resolver: ds.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Events != 10 {
+		t.Fatalf("served %d", rm.Events)
+	}
+}

@@ -38,6 +38,17 @@ type Metrics struct {
 	// cycles (response time of one input under run-to-completion).
 	LatencyMax int64
 	LatencyAvg int64
+	// DroppedEvents counts workload events lost to a bounded ingress
+	// queue's overflow policy (robust runs only; see RunRobust).
+	DroppedEvents int64
+	// DeadlineMisses counts events whose response time exceeded the
+	// configured watchdog budget (robust runs only).
+	DeadlineMisses int64
+	// BoundViolations counts places whose observed peak counter exceeded
+	// the configured static bound (robust runs only): the executable form
+	// of the paper's bounded-memory claim. Zero for every valid schedule
+	// under sound (structural) bounds.
+	BoundViolations int
 }
 
 // recordLatency folds one event's cycle cost into the metrics aggregates.
@@ -136,8 +147,22 @@ func RunQSS(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, see
 	return RunQSSWithHooks(prog, events, cost, Hooks{Resolver: ds.Resolver()})
 }
 
+// emptyMetrics is the explicit fast path for zero-event workloads: no
+// interpreter is built and every aggregate is zero by construction
+// (Events: 0, LatencyAvg: 0 — not a 0/0 division that happens to work).
+func emptyMetrics(prog *codegen.Program) *Metrics {
+	return &Metrics{
+		Events:  0,
+		Fired:   make([]int, prog.Net.NumTransitions()),
+		PerTask: make(map[string]int64),
+	}
+}
+
 // RunQSSWithHooks is RunQSS with caller-supplied hooks.
 func RunQSSWithHooks(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, hooks Hooks) (*Metrics, error) {
+	if len(events) == 0 {
+		return emptyMetrics(prog), nil
+	}
 	in := codegen.NewInterp(prog, hooks.Resolver)
 	in.OnFire = hooks.OnFire
 	k := rtos.NewKernel(cost)
@@ -178,6 +203,9 @@ func RunModular(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel,
 
 // RunModularWithHooks is RunModular with caller-supplied hooks.
 func RunModularWithHooks(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, hooks Hooks) (*Metrics, error) {
+	if len(events) == 0 {
+		return emptyMetrics(prog), nil
+	}
 	in := codegen.NewInterp(prog, hooks.Resolver)
 	in.OnFire = hooks.OnFire
 	k := rtos.NewKernel(cost)

@@ -47,6 +47,11 @@ func RunTimed(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, c
 	if cfg.CyclesPerTick <= 0 {
 		return nil, fmt.Errorf("sim: CyclesPerTick must be positive")
 	}
+	if len(events) == 0 {
+		// Explicit zero-event fast path: an empty tick stream yields
+		// all-zero timed metrics without touching the interpreter.
+		return &TimedMetrics{Metrics: *emptyMetrics(prog)}, nil
+	}
 	ordered := append([]rtos.Event(nil), events...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
 

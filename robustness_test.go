@@ -1,0 +1,211 @@
+package fcpn
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"fcpn/internal/atm"
+	"fcpn/internal/fault"
+	"fcpn/internal/modem"
+	"fcpn/internal/rtos"
+	"fcpn/internal/sim"
+)
+
+// loadNet parses one of the shipped example nets.
+func loadNet(t *testing.T, path string) *Net {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestATMBoundsUnderBurstScenarios is the acceptance regression: the ATM
+// server net synthesised from examples/nets/atmserver.pn reports zero
+// structural bound violations under ten seeded burst scenarios.
+func TestATMBoundsUnderBurstScenarios(t *testing.T) {
+	n := loadNet(t, "examples/nets/atmserver.pn")
+	syn, err := Synthesize(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := n.SourceTransitions()
+	if len(sources) == 0 {
+		t.Fatal("atmserver.pn has no source transitions")
+	}
+	var streams [][]rtos.Event
+	for i, src := range sources {
+		streams = append(streams, rtos.Periodic(src, int64(2*i+3), int64(i), 40))
+	}
+	base := rtos.Merge(streams...)
+	limits, err := sim.StructuralLimits(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range fault.BurstScenarios(10, 0xFA117, fault.AnySource, 50, 3) {
+		events := sc.Apply(base)
+		ds := sim.NewDecisionStream(n, sc.Seed)
+		rm, err := sim.RunRobust(syn.Program, events, rtos.DefaultCostModel(),
+			sim.RobustConfig{Limits: limits}, sim.Hooks{Resolver: ds.Resolver()})
+		if err != nil {
+			t.Fatalf("scenario %s: %v", sc.Name, err)
+		}
+		if rm.BoundViolations != 0 {
+			t.Fatalf("scenario %s: %d structural bound violations: %v",
+				sc.Name, rm.BoundViolations, rm.Violations)
+		}
+	}
+}
+
+// TestATMRobustnessReportDeterministic checks the byte-identical
+// reproducibility claim: the same seed yields the identical report.
+func TestATMRobustnessReportDeterministic(t *testing.T) {
+	cfg := atm.RobustnessConfig{
+		Workload:      atm.DefaultWorkload(),
+		Scenarios:     6,
+		FaultSeed:     0xFA117,
+		QueueCapacity: 8,
+		Policy:        rtos.DropOldest,
+		Deadline:      20000,
+		OverrunPct:    15,
+	}
+	cost := rtos.DefaultCostModel()
+	first, err := atm.RunRobustness(cfg, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := atm.RunRobustness(cfg, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Format() != second.Format() {
+		t.Fatalf("same seed produced different reports:\n--- first\n%s--- second\n%s",
+			first.Format(), second.Format())
+	}
+	if first.TotalViolations() != 0 {
+		t.Fatalf("ATM robustness run violated structural bounds:\n%s", first.Format())
+	}
+	// A different seed must change the report (scenario seeds differ).
+	cfg.FaultSeed = 0xBEEF
+	third, err := atm.RunRobustness(cfg, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Format() == third.Format() {
+		t.Fatal("different fault seeds produced identical reports")
+	}
+}
+
+// TestModemRobustness replays the modem under the mixed fault catalogue:
+// the simulator must not panic and the structural bounds must hold.
+func TestModemRobustness(t *testing.T) {
+	m, err := modem.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(m.Net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits, err := sim.StructuralLimits(m.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rtos.Merge(
+		rtos.Periodic(m.Sample, 5, 0, 60),
+		rtos.Bursty(m.Cmd, 40, 8, 0xC0FFEE),
+	)
+	for _, sc := range fault.DefaultScenarios(10, 0x30DE) {
+		events := sc.Apply(base)
+		line := modem.NewLine(m)
+		rm, err := sim.RunRobust(syn.Program, events, rtos.DefaultCostModel(), sim.RobustConfig{
+			Queue:  rtos.QueueConfig{Capacity: 6, Policy: rtos.DropNewest},
+			Limits: limits,
+		}, sim.Hooks{
+			Resolver: line.Resolver(),
+			OnFire:   line.OnFire,
+			BeforeEvent: func(ev rtos.Event) {
+				switch ev.Source {
+				case m.Sample:
+					line.BeginSample()
+				case m.Cmd:
+					line.BeginCmd()
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("scenario %s: %v", sc.Name, err)
+		}
+		if rm.BoundViolations != 0 {
+			t.Fatalf("scenario %s: %d violations: %v", sc.Name, rm.BoundViolations, rm.Violations)
+		}
+	}
+}
+
+// TestBuildRecoversBuilderPanics covers the public panic-recovery
+// boundary: programmatic construction errors surface as *BuildError.
+func TestBuildRecoversBuilderPanics(t *testing.T) {
+	cases := []struct {
+		name      string
+		construct func(*Builder)
+	}{
+		{"duplicate place", func(b *Builder) {
+			b.Place("p")
+			b.Place("p")
+		}},
+		{"duplicate transition", func(b *Builder) {
+			b.Transition("t")
+			b.Transition("t")
+		}},
+		{"non-positive weight", func(b *Builder) {
+			p := b.Place("p")
+			tr := b.Transition("t")
+			b.WeightedArc(p, tr, 0)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := Build("bad", tc.construct)
+			if err == nil {
+				t.Fatalf("Build succeeded: %v", n)
+			}
+			var be *BuildError
+			if !errors.As(err, &be) {
+				t.Fatalf("error %T is not *BuildError: %v", err, err)
+			}
+			if be.Reason == "" || be.Error() == "" {
+				t.Fatalf("empty diagnosis: %+v", be)
+			}
+		})
+	}
+}
+
+func TestBuildValidNet(t *testing.T) {
+	n, err := Build("good", func(b *Builder) {
+		p := b.Place("p")
+		tr := b.Transition("t")
+		b.Arc(p, tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "good" || n.NumPlaces() != 1 || n.NumTransitions() != 1 {
+		t.Fatalf("unexpected net: %q %d/%d", n.Name(), n.NumPlaces(), n.NumTransitions())
+	}
+}
+
+func TestErrBudgetExceededReexport(t *testing.T) {
+	if ErrBudgetExceeded == nil {
+		t.Fatal("nil sentinel")
+	}
+	if !errors.Is(ErrBudgetExceeded, ErrBudgetExceeded) {
+		t.Fatal("sentinel does not match itself")
+	}
+}
