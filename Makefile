@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench cover fuzz examples atmbench clean
+.PHONY: all build test bench bench-json cover fuzz examples atmbench clean
 
 all: build test
 
@@ -15,12 +15,22 @@ test:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Engine throughput and cache-effectiveness report: the example nets plus
+# a generated 50-net corpus, three passes through one engine (so the
+# second and third hit the cache), with a serial rerun for the speedup
+# ratio. Writes BENCH_engine.json.
+bench-json:
+	go run ./cmd/qssd -gen 50 -repeat 3 -workers 4 -compare-serial \
+		-o BENCH_engine.json examples/nets/*.pn
+	@grep -E '"(nets_per_sec|hit_rate|speedup)"' BENCH_engine.json
+
 cover:
 	go test -coverprofile=cover.out ./...
 	go tool cover -func=cover.out | tail -1
 
 fuzz:
-	go test -fuzz=FuzzParse -fuzztime=30s ./internal/petri/
+	go test -fuzz='FuzzParse$$' -fuzztime=30s ./internal/petri/
+	go test -fuzz='FuzzParsePN$$' -fuzztime=30s ./internal/petri/
 
 examples:
 	go run ./examples/quickstart
@@ -34,4 +44,4 @@ atmbench:
 	go run ./cmd/atmbench
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt BENCH_engine.json

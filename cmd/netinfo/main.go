@@ -1,10 +1,13 @@
 // Command netinfo prints a structural and behavioural report for a Petri
 // net in the textual format: node counts, subclass, choices, invariants,
 // boundedness and (for bounded nets) deadlock/liveness, siphons and traps,
-// and — for free-choice nets — quasi-static schedulability.
+// and — for free-choice nets — quasi-static schedulability. With -json it
+// instead emits the analysis engine's deterministic NetReport (the same
+// document type qssd produces per net).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +31,7 @@ func main() {
 // run is the testable core of the command.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("netinfo", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the analysis-engine report as JSON")
 	dot := fs.Bool("dot", false, "emit Graphviz dot instead of the report")
 	simplify := fs.Bool("simplify", false, "apply Murata's reduction rules and print the reduced net")
 	maxStates := fs.Int("max-states", 100000, "state cap for behavioural analysis")
@@ -59,6 +63,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *dot {
 		fmt.Fprint(stdout, n.DOT())
 		return nil
+	}
+	if *asJSON {
+		// The deterministic engine report: same type as one `qssd` batch
+		// entry, so tooling can consume both uniformly.
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(fcpn.Analyze(n, fcpn.Options{}))
 	}
 	report(stdout, n, *maxStates)
 	return nil

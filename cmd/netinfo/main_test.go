@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"fcpn"
 )
 
 const fig3a = `
@@ -70,6 +74,44 @@ func TestReportClosedCycle(t *testing.T) {
 		if !strings.Contains(got, frag) {
 			t.Fatalf("report missing %q:\n%s", frag, got)
 		}
+	}
+}
+
+// TestJSONGolden pins the -json engine report for figure 5 to the golden
+// file. The report is deterministic by the engine's contract, so any diff
+// here is a real behaviour change — regenerate with
+//
+//	go run ./cmd/netinfo -json examples/nets/figure5.pn > cmd/netinfo/testdata/figure5.json
+func TestJSONGolden(t *testing.T) {
+	f, err := os.Open("../../examples/nets/figure5.pn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out strings.Builder
+	if err := run([]string{"-json"}, f, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/figure5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Fatalf("-json report diverged from golden file:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestJSONUsesNetReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json"}, strings.NewReader(fig3a), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep fcpn.NetReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not a NetReport: %v\n%s", err, out.String())
+	}
+	if rep.Name != "figure3a" || !rep.Schedulable || rep.Hash == "" {
+		t.Fatalf("bad report: %+v", rep)
 	}
 }
 

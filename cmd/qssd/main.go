@@ -1,0 +1,211 @@
+// Command qssd is the batch front end of the concurrent analysis engine:
+// it loads a corpus of nets — from a manifest file, from .pn files on the
+// command line, or generated on the fly — analyses them concurrently
+// through the shared content-addressed cache, and writes one JSON report
+// with per-net results and timings plus the engine's cache and worker
+// counters.
+//
+// Usage:
+//
+//	qssd [-manifest list.txt] [-gen N] [-gen-seed S] [-workers W]
+//	     [-repeat R] [-compare-serial] [-o report.json] [file.pn ...]
+//
+// A manifest is a text file with one .pn path per line ('#' comments);
+// relative paths resolve against the manifest's directory. -repeat R
+// analyses the corpus R times through one engine, so repeated manifests
+// exercise the cache-hit path (the report's stats show the hit rate).
+// -compare-serial reruns the corpus cold on a one-worker engine and
+// reports the throughput ratio.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fcpn"
+	"fcpn/internal/engine"
+	"fcpn/internal/engine/stats"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qssd:", err)
+		os.Exit(1)
+	}
+}
+
+// batchReport is the JSON document qssd emits (also the BENCH_engine.json
+// payload). Per-net reports are deterministic; timings are not.
+type batchReport struct {
+	Workers    int     `json:"workers"`
+	Repeat     int     `json:"repeat"`
+	Nets       int     `json:"nets"`
+	Jobs       int     `json:"jobs"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	NetsPerSec float64 `json:"nets_per_sec"`
+
+	Stats stats.Snapshot `json:"stats"`
+
+	// SerialElapsedMS and Speedup are present with -compare-serial: the
+	// same corpus, cold, on a one-worker engine.
+	SerialElapsedMS float64 `json:"serial_elapsed_ms,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+
+	Results []netResult `json:"results"`
+}
+
+// netResult is one corpus entry: where the net came from, its
+// deterministic report, and this run's wall-clock analysis time.
+type netResult struct {
+	Source    string            `json:"source"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Report    *engine.NetReport `json:"report"`
+}
+
+// run is the testable core of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qssd", flag.ContinueOnError)
+	manifest := fs.String("manifest", "", "text file listing .pn files, one per line")
+	gen := fs.Int("gen", 0, "generate N schedulable pipeline nets instead of/alongside files")
+	genSeed := fs.Uint64("gen-seed", 1, "first seed for -gen (seeds S..S+N-1)")
+	workers := fs.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	repeat := fs.Int("repeat", 1, "analyse the corpus this many times through one engine")
+	compareSerial := fs.Bool("compare-serial", false, "also run the corpus cold on one worker and report the speedup")
+	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	sources, nets, err := loadCorpus(*manifest, fs.Args(), *gen, *genSeed)
+	if err != nil {
+		return err
+	}
+	if len(nets) == 0 {
+		return fmt.Errorf("empty corpus: give .pn files, -manifest, or -gen")
+	}
+
+	// One engine for every pass: pass 2..R runs against the warm cache.
+	jobs := make([]*petri.Net, 0, len(nets)**repeat)
+	for r := 0; r < *repeat; r++ {
+		jobs = append(jobs, nets...)
+	}
+	e := engine.New(engine.Config{Workers: *workers})
+	t0 := time.Now()
+	results := e.AnalyzeBatch(jobs)
+	elapsed := time.Since(t0)
+	snap := e.Stats()
+	e.Close()
+
+	rep := batchReport{
+		Workers:    e.Workers(),
+		Repeat:     *repeat,
+		Nets:       len(nets),
+		Jobs:       len(jobs),
+		ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
+		NetsPerSec: float64(len(jobs)) / elapsed.Seconds(),
+		Stats:      snap,
+	}
+	// Report the first pass per net; later passes only differ in timing.
+	for i := range nets {
+		rep.Results = append(rep.Results, netResult{
+			Source:    sources[i],
+			ElapsedMS: float64(results[i].Elapsed.Nanoseconds()) / 1e6,
+			Report:    results[i].Report,
+		})
+	}
+
+	if *compareSerial {
+		se := engine.New(engine.Config{Workers: 1})
+		t0 := time.Now()
+		se.AnalyzeBatch(jobs)
+		serial := time.Since(t0)
+		se.Close()
+		rep.SerialElapsedMS = float64(serial.Nanoseconds()) / 1e6
+		if elapsed > 0 {
+			rep.Speedup = float64(serial.Nanoseconds()) / float64(elapsed.Nanoseconds())
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// loadCorpus assembles the net list: manifest entries, then positional
+// files, then generated nets. Sources are the file paths, or "gen:<seed>"
+// for generated nets.
+func loadCorpus(manifest string, files []string, gen int, genSeed uint64) ([]string, []*petri.Net, error) {
+	var sources []string
+	var nets []*petri.Net
+	add := func(path string) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := fcpn.Parse(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		sources = append(sources, path)
+		nets = append(nets, n)
+		return nil
+	}
+
+	if manifest != "" {
+		f, err := os.Open(manifest)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		dir := filepath.Dir(manifest)
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if !filepath.IsAbs(line) {
+				line = filepath.Join(dir, line)
+			}
+			if err := add(line); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, path := range files {
+		if err := add(path); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < gen; i++ {
+		seed := genSeed + uint64(i)
+		sources = append(sources, fmt.Sprintf("gen:%d", seed))
+		nets = append(nets, netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig()))
+	}
+	return sources, nets, nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func runJSON(t *testing.T, args ...string) batchReport {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("qssd %v: %v", args, err)
+	}
+	var rep batchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, buf.String())
+	}
+	return rep
+}
+
+func TestQssdManifestAndRepeat(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "nets.txt")
+	abs, err := filepath.Abs("../../examples/nets/figure5.pn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := "# corpus\n" + abs + "\n"
+	if err := os.WriteFile(manifest, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runJSON(t, "-manifest", manifest, "-repeat", "3", "-workers", "2")
+	if rep.Nets != 1 || rep.Jobs != 3 || rep.Repeat != 3 {
+		t.Fatalf("bad counts: %+v", rep)
+	}
+	if rep.Stats.CacheHits == 0 {
+		t.Errorf("repeated manifest produced no cache hits: %+v", rep.Stats)
+	}
+	if len(rep.Results) != 1 || !rep.Results[0].Report.Schedulable {
+		t.Fatalf("bad results: %+v", rep.Results)
+	}
+	if rep.Results[0].Source != abs {
+		t.Errorf("source = %q, want %q", rep.Results[0].Source, abs)
+	}
+}
+
+func TestQssdGeneratedCorpus(t *testing.T) {
+	rep := runJSON(t, "-gen", "8", "-gen-seed", "7", "-repeat", "2", "-compare-serial")
+	if rep.Nets != 8 || rep.Jobs != 16 {
+		t.Fatalf("bad counts: %+v", rep)
+	}
+	if rep.Results[0].Source != "gen:7" || rep.Results[7].Source != "gen:14" {
+		t.Errorf("bad sources: %q %q", rep.Results[0].Source, rep.Results[7].Source)
+	}
+	if rep.Stats.HitRate == 0 {
+		t.Errorf("warm pass produced no hits: %+v", rep.Stats)
+	}
+	if rep.Speedup == 0 || rep.SerialElapsedMS == 0 {
+		t.Errorf("-compare-serial missing from report: %+v", rep)
+	}
+	for _, r := range rep.Results {
+		if !r.Report.Schedulable {
+			t.Errorf("generated pipeline %s not schedulable: %s", r.Source, r.Report.ScheduleError)
+		}
+	}
+}
+
+func TestQssdEmptyCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("empty corpus must error")
+	}
+}
+
+func TestQssdPositionalFilesAndOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	err := run([]string{"-o", out, "../../examples/nets/figure2.pn", "../../examples/nets/figure5.pn"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("-o should leave stdout empty, got %q", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep batchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nets != 2 || rep.Results[1].Report.Name == "" {
+		t.Fatalf("bad report: %+v", rep)
+	}
+}

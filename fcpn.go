@@ -6,6 +6,8 @@ import (
 
 	"fcpn/internal/codegen"
 	"fcpn/internal/core"
+	"fcpn/internal/engine"
+	"fcpn/internal/engine/stats"
 	"fcpn/internal/petri"
 	"fcpn/internal/spec"
 )
@@ -193,6 +195,43 @@ func (s *Synthesis) NumTasks() int { return len(s.Program.Tasks) }
 
 // BufferBounds reports per-place static buffer bounds from the schedule.
 func (s *Synthesis) BufferBounds() ([]int, error) { return s.Schedule.BufferBounds() }
+
+// Concurrent analysis engine (see docs/ENGINE.md). The aliases expose the
+// engine service through this package.
+type (
+	// Engine is the long-running, goroutine-safe analysis service with a
+	// bounded worker pool and a content-addressed result cache; create
+	// with NewEngine, Close when done.
+	Engine = engine.Engine
+	// EngineConfig tunes an Engine (workers, cache capacity, solver
+	// options); the zero value is usable.
+	EngineConfig = engine.Config
+	// NetReport is the engine's deterministic per-net analysis report.
+	NetReport = engine.NetReport
+	// EngineResult pairs a NetReport with its wall-clock analysis time.
+	EngineResult = engine.Result
+	// EngineStats is a snapshot of the engine's counters (jobs, cache
+	// hits/misses, worker utilisation).
+	EngineStats = stats.Snapshot
+)
+
+// NewEngine starts a concurrent analysis engine. Results are independent
+// of the worker count, and cache hits are byte-identical to cold runs.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// CanonicalHash returns the net's canonical structural hash — stable
+// under renaming and declaration reordering — which keys the engine's
+// content-addressed cache.
+func CanonicalHash(n *Net) string { return n.CanonicalHash() }
+
+// Analyze runs the engine's full structural + behavioural analysis of one
+// net through an ephemeral engine. For batches or repeated queries, keep
+// a NewEngine instance instead so the cache is shared.
+func Analyze(n *Net, opt Options) *NetReport {
+	e := engine.New(engine.Config{Workers: 1, Core: opt})
+	defer e.Close()
+	return e.Analyze(n)
+}
 
 // TradeoffPoint re-exports the schedule-exploration result type.
 type TradeoffPoint = core.TradeoffPoint

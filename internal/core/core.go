@@ -24,7 +24,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"fcpn/internal/invariant"
 	"fcpn/internal/petri"
 )
 
@@ -44,6 +46,17 @@ type Options struct {
 	// one cycle per allocation even when reductions coincide. Used by the
 	// ablation benchmarks.
 	KeepDuplicateReductions bool
+	// Workers bounds the parallel fan-out of the per-T-reduction work
+	// (reduction construction in the ablation path and the schedulability
+	// sweep). Values ≤ 1 run serially. Results are merged in enumeration
+	// order, so the outcome — schedule or diagnostic — is identical for
+	// every worker count.
+	Workers int
+	// Semiflows optionally memoises minimal-semiflow computations across
+	// Solve/PartitionTasks calls, keyed by canonical structural hash.
+	// Implementations must be safe for concurrent use (see
+	// internal/engine). Nil disables memoisation.
+	Semiflows invariant.Cache
 }
 
 func (o Options) maxAllocations() int {
@@ -58,6 +71,13 @@ func (o Options) maxCycleLength() int {
 		return 1 << 20
 	}
 	return o.MaxCycleLength
+}
+
+func (o Options) workerCount() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // ErrTooManyAllocations is returned when the choice structure exceeds
@@ -128,9 +148,10 @@ func Solve(n *petri.Net, opt Options) (*Schedule, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, alloc := range allocs {
-			reductions = append(reductions, Reduce(n, alloc))
-		}
+		reductions = make([]*Reduction, len(allocs))
+		forEachIndex(len(allocs), opt.workerCount(), func(i int) {
+			reductions[i] = Reduce(n, allocs[i])
+		})
 	} else {
 		// Output-sensitive search: only distinct T-reductions are built,
 		// without touching the exponential allocation product.
@@ -140,19 +161,68 @@ func Solve(n *petri.Net, opt Options) (*Schedule, error) {
 			return nil, err
 		}
 	}
-	for _, red := range reductions {
-		report := CheckReduction(n, red, opt)
+	// Schedulability sweep: each reduction's check is independent, so they
+	// fan out across workers; merging in enumeration order keeps the
+	// result — including which failing reduction is diagnosed — identical
+	// to the serial sweep (the serial path stops at the first failure; the
+	// parallel path computes all reports but returns the same, lowest
+	// enumeration-index failure).
+	reports := make([]*ReductionReport, len(reductions))
+	if opt.workerCount() == 1 {
+		for i, red := range reductions {
+			reports[i] = CheckReduction(n, red, opt)
+			if !reports[i].Schedulable {
+				return nil, &NotSchedulableError{Report: reports[i]}
+			}
+		}
+	} else {
+		forEachIndex(len(reductions), opt.workerCount(), func(i int) {
+			reports[i] = CheckReduction(n, reductions[i], opt)
+		})
+	}
+	for i, report := range reports {
 		if !report.Schedulable {
 			return nil, &NotSchedulableError{Report: report}
 		}
 		sched.Cycles = append(sched.Cycles, Cycle{
 			Sequence:  report.Cycle,
 			Counts:    n.FiringCount(report.Cycle),
-			Reduction: red,
+			Reduction: reductions[i],
 		})
 		sched.Reports = append(sched.Reports, report)
 	}
 	return sched, nil
+}
+
+// forEachIndex runs fn(0..n-1), fanning out across up to workers
+// goroutines. Each index is processed exactly once; fn must only write to
+// its own index's slots for the sweep to stay deterministic.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // Schedulable is a convenience wrapper: it reports whether the net has a

@@ -47,7 +47,7 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 	report := &ReductionReport{Reduction: red}
 	sub := red.Sub.Net
 
-	tis, err := invariant.TInvariants(sub, invariant.Options{MaxRows: opt.MaxRows})
+	tis, err := invariant.TInvariantsCached(sub, invariant.Options{MaxRows: opt.MaxRows}, opt.Semiflows)
 	if err != nil {
 		report.FailReason = fmt.Sprintf("invariant computation failed: %v", err)
 		return report

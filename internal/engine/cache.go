@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"fcpn/internal/engine/stats"
+)
+
+// cache is the engine's content-addressed store: a bounded, goroutine-safe
+// LRU keyed by strings derived from canonical structural hashes
+// ("<layer>:<hash>"). Values are stored in canonical index space and must
+// be treated as immutable by all readers — that is what makes one entry
+// shareable across every net with the same canonical structure.
+//
+// A singleflight map collapses concurrent computations of the same key:
+// the first goroutine computes, the rest wait and share the result. The
+// leader's lookup counts as a miss, each follower's as a hit.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      list.List // front = most recent; values are *cacheEntry
+	inflight map[string]*flight
+	counters *stats.Counters
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newCache(capacity int, counters *stats.Counters) *cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+		counters: counters,
+	}
+}
+
+// get returns the value stored under key and counts the hit or miss.
+func (c *cache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.counters.CacheMisses.Add(1)
+		return nil, false
+	}
+	c.counters.CacheHits.Add(1)
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores val under key, evicting the least-recently-used entry past
+// capacity.
+func (c *cache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+	for len(c.entries) > c.capacity {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// getOrCompute returns the cached value for key or computes it exactly
+// once across concurrent callers. Errors are returned to every waiter and
+// never cached.
+func (c *cache) getOrCompute(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.counters.CacheHits.Add(1)
+		c.lru.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		// A concurrent computation is underway; share its outcome.
+		c.counters.CacheHits.Add(1)
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	c.counters.CacheMisses.Add(1)
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	if f.err == nil {
+		c.put(key, f.val)
+	}
+	return f.val, f.err
+}
+
+// semiflowCache adapts the engine cache to invariant.Cache so
+// core.Solve/PartitionTasks memoise their Farkas enumerations in the same
+// content-addressed store.
+type semiflowCache struct{ c *cache }
+
+func (s semiflowCache) GetSemiflows(key string) ([][]int, bool) {
+	v, ok := s.c.get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([][]int), true
+}
+
+func (s semiflowCache) PutSemiflows(key string, rows [][]int) { s.c.put(key, rows) }

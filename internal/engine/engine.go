@@ -1,0 +1,453 @@
+// Package engine is the concurrent QSS analysis engine: a long-running,
+// goroutine-safe front end over internal/core that shards a stream of nets
+// across a bounded worker pool and memoises the expensive intermediates —
+// minimal T-semiflows, P-invariant bounds, canonical T-reductions and
+// complete schedules — in a content-addressed cache keyed by the canonical
+// structural hash of each net (petri.CanonicalForm).
+//
+// Determinism contract: every cached payload is stored in canonical index
+// space and every report field is derived from the canonical payload
+// mapped back into the requesting net's index space, for cold and warm
+// paths alike. A cache hit therefore returns byte-identical results to a
+// cold run, and results are independent of the worker count. See
+// docs/ENGINE.md.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fcpn/internal/codegen"
+	"fcpn/internal/core"
+	"fcpn/internal/engine/stats"
+	"fcpn/internal/invariant"
+	"fcpn/internal/petri"
+)
+
+// Config tunes the engine. The zero value is usable: GOMAXPROCS workers,
+// a 4096-entry cache, default solver options.
+type Config struct {
+	// Workers is the analysis worker-pool size (≤ 0 → GOMAXPROCS). The
+	// per-net schedulability sweep inherits it through Core.Workers
+	// unless that is set explicitly.
+	Workers int
+	// CacheCapacity bounds the content-addressed cache (entries across
+	// all layers; ≤ 0 → 4096). Eviction is LRU.
+	CacheCapacity int
+	// Core is the solver configuration applied to every job.
+	Core core.Options
+}
+
+// Engine is the long-running analysis service. Create with New, share
+// freely across goroutines, and Close when done (Close waits for
+// in-flight jobs). Methods must not be called from inside another job of
+// the same engine — jobs occupy workers, so nesting can deadlock a full
+// pool.
+type Engine struct {
+	cfg      Config
+	workers  int
+	cache    *cache
+	counters stats.Counters
+	start    time.Time
+
+	jobs      chan func()
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// Result pairs a report with its wall-clock analysis time. Elapsed is the
+// only non-deterministic field, which is why it lives outside NetReport.
+type Result struct {
+	Report  *NetReport
+	Elapsed time.Duration
+}
+
+// New starts an engine with its worker pool.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		workers: workers,
+		start:   time.Now(),
+		jobs:    make(chan func()),
+	}
+	e.cache = newCache(cfg.CacheCapacity, &e.counters)
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for fn := range e.jobs {
+		e.counters.QueueDepth.Add(-1)
+		e.counters.BusyWorkers.Add(1)
+		t0 := time.Now()
+		fn()
+		e.counters.BusyNanos.Add(time.Since(t0).Nanoseconds())
+		e.counters.BusyWorkers.Add(-1)
+	}
+}
+
+// Close shuts the pool down and waits for in-flight jobs. The cache stays
+// readable; submitting new jobs after Close panics.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.jobs) })
+	e.wg.Wait()
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() stats.Snapshot {
+	return e.counters.Snapshot(e.workers, time.Since(e.start).Nanoseconds())
+}
+
+// coreOpts is the per-job solver configuration: the engine's cache and —
+// unless the caller pinned one — its worker count for the inner
+// schedulability sweep.
+func (e *Engine) coreOpts() core.Options {
+	opt := e.cfg.Core
+	opt.Semiflows = semiflowCache{e.cache}
+	if opt.Workers == 0 {
+		opt.Workers = e.workers
+	}
+	return opt
+}
+
+// run executes fn on the pool and waits for it.
+func (e *Engine) run(fn func()) {
+	done := make(chan struct{})
+	e.counters.QueueDepth.Add(1)
+	e.jobs <- func() { fn(); close(done) }
+	<-done
+}
+
+// Analyze runs the full structural + behavioural analysis of one net on
+// the pool and returns its deterministic report.
+func (e *Engine) Analyze(n *petri.Net) *NetReport {
+	var rep *NetReport
+	e.run(func() { rep = e.analyze(n) })
+	return rep
+}
+
+// AnalyzeBatch analyses the nets concurrently across the pool and returns
+// the results in input order.
+func (e *Engine) AnalyzeBatch(nets []*petri.Net) []Result {
+	out := make([]Result, len(nets))
+	var wg sync.WaitGroup
+	for i, n := range nets {
+		i, n := i, n
+		wg.Add(1)
+		e.counters.QueueDepth.Add(1)
+		e.jobs <- func() {
+			defer wg.Done()
+			t0 := time.Now()
+			out[i] = Result{Report: e.analyze(n), Elapsed: time.Since(t0)}
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Synthesize runs the complete pipeline — schedule, task partition, code
+// generation — through the cache and returns the bundle. Schedules come
+// from the content-addressed schedule layer; the generated program is
+// rebuilt from them (code generation is linear and name-dependent, so its
+// output is not content-addressed).
+func (e *Engine) Synthesize(n *petri.Net) (*Synthesis, error) {
+	var syn *Synthesis
+	var err error
+	e.run(func() { syn, err = e.synthesize(n) })
+	return syn, err
+}
+
+func (e *Engine) synthesize(n *petri.Net) (*Synthesis, error) {
+	e.counters.Jobs.Add(1)
+	cf := n.CanonicalForm()
+	sched, err := e.schedule(n, cf)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := core.PartitionTasks(n, e.coreOpts())
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Generate(sched, tp)
+	if err != nil {
+		return nil, err
+	}
+	return &Synthesis{Schedule: sched, Partition: tp, Program: prog}, nil
+}
+
+// ---- cache layers ----------------------------------------------------
+
+// cachedSchedule is the canonical-space payload of the schedule layer:
+// cycles sorted lexicographically by canonical firing sequence, each with
+// its choice resolution as (canonical cluster-representative place,
+// canonical chosen transition) pairs.
+type cachedSchedule struct {
+	cycles []cachedCycle
+}
+
+type cachedCycle struct {
+	seq     []int
+	choices [][2]int
+}
+
+// schedule returns the net's valid schedule through the cache: on a miss
+// core.Solve runs (parallel sweep, memoised semiflows) and the result is
+// canonicalised; hit or miss, the returned Schedule is rebuilt from the
+// canonical payload, which is what makes warm results byte-identical to
+// cold ones. Solve failures are returned, never cached.
+func (e *Engine) schedule(n *petri.Net, cf *petri.CanonicalForm) (*core.Schedule, error) {
+	v, err := e.cache.getOrCompute("sched:"+cf.Hash, func() (any, error) {
+		s, err := core.Solve(n, e.coreOpts())
+		if err != nil {
+			return nil, err
+		}
+		return toCachedSchedule(cf, s), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rebuildSchedule(n, cf, v.(*cachedSchedule))
+}
+
+func toCachedSchedule(cf *petri.CanonicalForm, s *core.Schedule) *cachedSchedule {
+	cs := &cachedSchedule{cycles: make([]cachedCycle, len(s.Cycles))}
+	for i, cyc := range s.Cycles {
+		cc := cachedCycle{seq: make([]int, len(cyc.Sequence))}
+		for j, t := range cyc.Sequence {
+			cc.seq[j] = cf.TransPos[t]
+		}
+		alloc := cyc.Reduction.Allocation
+		for k, cluster := range alloc.Clusters {
+			rep := cf.PlacePos[cluster.Places[0]]
+			for _, p := range cluster.Places[1:] {
+				if pos := cf.PlacePos[p]; pos < rep {
+					rep = pos
+				}
+			}
+			cc.choices = append(cc.choices, [2]int{rep, cf.TransPos[alloc.Chosen[k]]})
+		}
+		sort.Slice(cc.choices, func(a, b int) bool { return cc.choices[a][0] < cc.choices[b][0] })
+		cs.cycles[i] = cc
+	}
+	sort.Slice(cs.cycles, func(a, b int) bool { return lessIntSlice(cs.cycles[a].seq, cs.cycles[b].seq) })
+	return cs
+}
+
+func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule) (*core.Schedule, error) {
+	clusters := n.FreeChoiceSets()
+	clusterOf := map[petri.Place]int{}
+	for i, c := range clusters {
+		for _, p := range c.Places {
+			clusterOf[p] = i
+		}
+	}
+	sched := &core.Schedule{Net: n, AllocationCount: core.CountAllocations(n)}
+	for _, cc := range cs.cycles {
+		seq := make([]petri.Transition, len(cc.seq))
+		for j, pos := range cc.seq {
+			seq[j] = cf.TransAt[pos]
+		}
+		chosen := make([]petri.Transition, len(clusters))
+		for i, c := range clusters {
+			chosen[i] = c.Transitions[0]
+		}
+		for _, pair := range cc.choices {
+			p, t := cf.PlaceAt[pair[0]], cf.TransAt[pair[1]]
+			ci, ok := clusterOf[p]
+			if !ok {
+				return nil, fmt.Errorf("engine: cached choice place %q is not a choice of net %q",
+					n.PlaceName(p), n.Name())
+			}
+			chosen[ci] = t
+		}
+		alloc := &core.Allocation{Clusters: clusters, Chosen: chosen}
+		sched.Cycles = append(sched.Cycles, core.Cycle{
+			Sequence:  seq,
+			Counts:    n.FiringCount(seq),
+			Reduction: core.Reduce(n, alloc),
+		})
+	}
+	return sched, nil
+}
+
+// reductions returns, per distinct T-reduction, the canonically sorted
+// kept-transition sets, mapped to the net's transitions.
+func (e *Engine) reductions(n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Transition, error) {
+	max := e.cfg.Core.MaxAllocations
+	v, err := e.cache.getOrCompute("reds:"+cf.Hash, func() (any, error) {
+		reds, err := core.EnumerateDistinctReductions(n, max)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]int, len(reds))
+		for i, r := range reds {
+			row := make([]int, len(r.Sub.ParentTransition))
+			for j, t := range r.Sub.ParentTransition {
+				row[j] = cf.TransPos[t]
+			}
+			sort.Ints(row)
+			rows[i] = row
+		}
+		sort.Slice(rows, func(a, b int) bool { return lessIntSlice(rows[a], rows[b]) })
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := v.([][]int)
+	out := make([][]petri.Transition, len(rows))
+	for i, row := range rows {
+		ts := make([]petri.Transition, len(row))
+		for j, pos := range row {
+			ts[j] = cf.TransAt[pos]
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+		out[i] = ts
+	}
+	return out, nil
+}
+
+// structuralBounds returns the P-invariant place bounds through the
+// bounds layer (canonical place order).
+func (e *Engine) structuralBounds(n *petri.Net, cf *petri.CanonicalForm) ([]int, error) {
+	v, err := e.cache.getOrCompute("bounds:"+cf.Hash, func() (any, error) {
+		pis, err := invariant.PInvariantsCached(n, invariant.Options{MaxRows: e.cfg.Core.MaxRows}, semiflowCache{e.cache})
+		if err != nil {
+			return nil, err
+		}
+		local := invariant.StructuralBounds(n, pis)
+		canon := make([]int, len(local))
+		for p, b := range local {
+			canon[cf.PlacePos[p]] = b
+		}
+		return canon, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	canon := v.([]int)
+	local := make([]int, len(canon))
+	for pos, b := range canon {
+		local[cf.PlaceAt[pos]] = b
+	}
+	return local, nil
+}
+
+// ---- analysis --------------------------------------------------------
+
+func (e *Engine) analyze(n *petri.Net) *NetReport {
+	e.counters.Jobs.Add(1)
+	cf := n.CanonicalForm()
+	rep := &NetReport{
+		Name:        n.Name(),
+		Hash:        cf.Hash,
+		Places:      n.NumPlaces(),
+		Transitions: n.NumTransitions(),
+		Arcs:        len(n.Arcs()),
+		Class:       n.Classify(),
+		FreeChoice:  n.IsFreeChoice(),
+		Sources:     names(n, n.SourceTransitions()),
+		Sinks:       names(n, n.SinkTransitions()),
+		FreeChoices: len(n.FreeChoiceSets()),
+	}
+	fail := func(stage string, err error) {
+		rep.Errors = append(rep.Errors, stage+": "+err.Error())
+	}
+
+	iopt := invariant.Options{MaxRows: e.cfg.Core.MaxRows}
+	tis, err := invariant.TInvariantsCached(n, iopt, semiflowCache{e.cache})
+	if err != nil {
+		fail("t-semiflows", err)
+	} else {
+		rep.TSemiflows = len(tis)
+		rep.Consistent = invariant.Consistent(n, tis)
+	}
+	pis, err := invariant.PInvariantsCached(n, iopt, semiflowCache{e.cache})
+	if err != nil {
+		fail("p-semiflows", err)
+	} else {
+		rep.PSemiflows = len(pis)
+		rep.Conservative = invariant.Conservative(n, pis)
+	}
+	if bounds, err := e.structuralBounds(n, cf); err != nil {
+		fail("structural-bounds", err)
+	} else {
+		for p, b := range bounds {
+			if b != invariant.Unbounded {
+				if rep.StructuralBounds == nil {
+					rep.StructuralBounds = map[string]int{}
+				}
+				rep.StructuralBounds[n.PlaceName(petri.Place(p))] = b
+			}
+		}
+	}
+
+	if !rep.FreeChoice || n.Validate() != nil {
+		if err := n.Validate(); err != nil {
+			rep.ScheduleError = err.Error()
+		}
+		return rep
+	}
+
+	if reds, err := e.reductions(n, cf); err != nil {
+		fail("reductions", err)
+	} else {
+		for _, ts := range reds {
+			rep.Reductions = append(rep.Reductions, n.SequenceNames(ts))
+		}
+	}
+
+	sched, err := e.schedule(n, cf)
+	if err != nil {
+		rep.ScheduleError = err.Error()
+		return rep
+	}
+	rep.Schedulable = true
+	rep.Allocations = sched.AllocationCount
+	rep.Schedule = sched.Export()
+	if bounds, err := sched.BufferBounds(); err != nil {
+		fail("buffer-bounds", err)
+	} else {
+		rep.BufferBounds = map[string]int{}
+		for p, b := range bounds {
+			rep.BufferBounds[n.PlaceName(petri.Place(p))] = b
+		}
+	}
+
+	tp, err := core.PartitionTasks(n, e.coreOpts())
+	if err != nil {
+		fail("tasks", err)
+	} else {
+		for _, task := range tp.Tasks {
+			rep.Tasks = append(rep.Tasks, TaskReport{
+				Name:        task.Name,
+				Sources:     names(n, task.Sources),
+				Transitions: names(n, task.Transitions),
+			})
+		}
+	}
+	return rep
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

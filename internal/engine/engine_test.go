@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"encoding/json"
+	"runtime"
+	"sort"
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+)
+
+// corpus returns the determinism test set: every figure net plus a 50-net
+// netgen corpus, in a deterministic order.
+func corpus() []*petri.Net {
+	var nets []*petri.Net
+	all := figures.All()
+	var keys []string
+	for k := range all {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		nets = append(nets, all[k])
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		nets = append(nets, netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig()))
+	}
+	return nets
+}
+
+func reportJSON(t *testing.T, rep *NetReport) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// outcome is the full byte-comparable engine result for one net: the
+// report plus, when schedulable, the generated C.
+func outcome(t *testing.T, e *Engine, n *petri.Net) string {
+	t.Helper()
+	rep := e.Analyze(n)
+	s := reportJSON(t, rep)
+	if rep.Schedulable {
+		syn, err := e.Synthesize(n)
+		if err != nil {
+			t.Fatalf("net %q: analyze says schedulable but synthesize failed: %v", n.Name(), err)
+		}
+		s += "\n" + syn.C(true)
+	}
+	return s
+}
+
+// wideWorkers is the pool size for the "parallel" side of determinism
+// tests: NumCPU, but never fewer than 4 so single-core machines still
+// exercise real goroutine interleaving.
+func wideWorkers() int {
+	if n := runtime.NumCPU(); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// TestEngineDeterminism is the acceptance criterion: for every figure net
+// and a 50-net netgen corpus, results (reports, schedules, bounds,
+// generated C) are byte-identical between cold run, warm-cache run, and
+// workers=1 vs workers=max(4, NumCPU).
+func TestEngineDeterminism(t *testing.T) {
+	nets := corpus()
+	serial := New(Config{Workers: 1})
+	defer serial.Close()
+	wide := New(Config{Workers: wideWorkers()})
+	defer wide.Close()
+
+	for _, n := range nets {
+		cold := outcome(t, serial, n)
+		warm := outcome(t, serial, n)
+		if cold != warm {
+			t.Fatalf("net %q: warm run differs from cold run:\n%s\nvs\n%s", n.Name(), warm, cold)
+		}
+		wideCold := outcome(t, wide, n)
+		wideWarm := outcome(t, wide, n)
+		if wideCold != cold {
+			t.Fatalf("net %q: workers=%d differs from workers=1:\n%s\nvs\n%s",
+				n.Name(), wide.Workers(), wideCold, cold)
+		}
+		if wideWarm != cold {
+			t.Fatalf("net %q: warm wide run differs", n.Name())
+		}
+	}
+	if s := wide.Stats(); s.CacheHits == 0 {
+		t.Error("warm runs produced no cache hits")
+	}
+}
+
+// TestEngineBatchOrderAndConcurrency checks AnalyzeBatch returns results
+// in input order and that concurrent submission of the same net through
+// the singleflight produces identical reports.
+func TestEngineBatchOrderAndConcurrency(t *testing.T) {
+	e := New(Config{Workers: wideWorkers()})
+	defer e.Close()
+	n := figures.Figure5()
+	nets := make([]*petri.Net, 32)
+	for i := range nets {
+		nets[i] = n
+	}
+	results := e.AnalyzeBatch(nets)
+	if len(results) != len(nets) {
+		t.Fatalf("got %d results", len(results))
+	}
+	want := reportJSON(t, results[0].Report)
+	for i, r := range results {
+		if got := reportJSON(t, r.Report); got != want {
+			t.Fatalf("result %d differs:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	if s := e.Stats(); s.Jobs != int64(len(nets)) {
+		t.Errorf("jobs = %d, want %d", s.Jobs, len(nets))
+	}
+}
+
+// TestEngineSharesAcrossRenamedNets checks content addressing: a
+// structurally identical net with different names hits the cache and
+// still reports its own names.
+func TestEngineSharesAcrossRenamedNets(t *testing.T) {
+	build := func(prefix string) *petri.Net {
+		b := petri.NewBuilder(prefix + "net")
+		src := b.Transition(prefix + "src")
+		p := b.Place(prefix + "p")
+		sink := b.Transition(prefix + "sink")
+		b.Chain(src, p, sink)
+		return b.Build()
+	}
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	a := e.Analyze(build("a_"))
+	hitsBefore := e.Stats().CacheHits
+	bb := e.Analyze(build("b_"))
+	if e.Stats().CacheHits <= hitsBefore {
+		t.Error("renamed twin did not hit the cache")
+	}
+	if a.Hash != bb.Hash {
+		t.Errorf("isomorphic nets hash differently: %s vs %s", a.Hash, bb.Hash)
+	}
+	if !bb.Schedulable || len(bb.Schedule.Cycles) != 1 {
+		t.Fatalf("bad twin report: %+v", bb)
+	}
+	if bb.Schedule.Cycles[0].Sequence[0] != "b_src" {
+		t.Errorf("twin report leaked foreign names: %v", bb.Schedule.Cycles[0].Sequence)
+	}
+}
+
+// TestEngineCacheEviction checks a tiny cache still yields correct,
+// deterministic results (entries are recomputed after eviction).
+func TestEngineCacheEviction(t *testing.T) {
+	small := New(Config{Workers: 2, CacheCapacity: 2})
+	defer small.Close()
+	big := New(Config{Workers: 2})
+	defer big.Close()
+	for _, n := range corpus()[:12] {
+		if a, b := outcome(t, small, n), outcome(t, big, n); a != b {
+			t.Fatalf("net %q: eviction changed the result", n.Name())
+		}
+	}
+}
+
+// TestEngineUnschedulableDiagnostics checks failures are reported, not
+// cached into wrong verdicts.
+func TestEngineUnschedulableDiagnostics(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	for i := 0; i < 2; i++ {
+		rep := e.Analyze(figures.Figure3b())
+		if rep.Schedulable || rep.ScheduleError == "" {
+			t.Fatalf("figure3b must be diagnosed unschedulable: %+v", rep)
+		}
+		if _, err := e.Synthesize(figures.Figure3b()); err == nil {
+			t.Fatal("synthesize must fail on figure3b")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package stats is the engine's lightweight instrumentation: a fixed set
+// of atomic counters (jobs, cache hits/misses, queue depth, worker
+// occupancy) cheap enough to update on every operation, plus an immutable
+// Snapshot for reports. It exists so the BENCH trajectory can track
+// engine throughput and cache effectiveness without a metrics dependency.
+package stats
+
+import "sync/atomic"
+
+// Counters is the live, goroutine-safe counter set. The zero value is
+// ready to use.
+type Counters struct {
+	// Jobs counts analysis jobs accepted by the engine.
+	Jobs atomic.Int64
+	// CacheHits / CacheMisses count content-addressed cache lookups
+	// across every layer.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// QueueDepth is the number of submitted jobs not yet picked up by a
+	// worker (a gauge).
+	QueueDepth atomic.Int64
+	// BusyWorkers is the number of workers currently executing a job
+	// (a gauge).
+	BusyWorkers atomic.Int64
+	// BusyNanos accumulates worker busy time, for utilisation.
+	BusyNanos atomic.Int64
+}
+
+// Snapshot is a consistent-enough point-in-time reading of the counters,
+// JSON-ready for reports.
+type Snapshot struct {
+	Jobs        int64   `json:"jobs"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	QueueDepth  int64   `json:"queue_depth"`
+	BusyWorkers int64   `json:"busy_workers"`
+	Workers     int     `json:"workers"`
+	// Utilization is cumulative worker busy time divided by
+	// workers × wall time, in [0, 1] modulo sampling skew.
+	Utilization float64 `json:"utilization"`
+}
+
+// Snapshot captures the counters. workers is the pool size and wallNanos
+// the engine's elapsed wall-clock time, both needed for utilisation.
+func (c *Counters) Snapshot(workers int, wallNanos int64) Snapshot {
+	s := Snapshot{
+		Jobs:        c.Jobs.Load(),
+		CacheHits:   c.CacheHits.Load(),
+		CacheMisses: c.CacheMisses.Load(),
+		QueueDepth:  c.QueueDepth.Load(),
+		BusyWorkers: c.BusyWorkers.Load(),
+		Workers:     workers,
+	}
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(total)
+	}
+	if workers > 0 && wallNanos > 0 {
+		s.Utilization = float64(c.BusyNanos.Load()) / (float64(workers) * float64(wallNanos))
+	}
+	return s
+}

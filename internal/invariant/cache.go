@@ -1,0 +1,108 @@
+package invariant
+
+import (
+	"sort"
+
+	"fcpn/internal/petri"
+)
+
+// Cache memoises minimal-support semiflow computations. Keys are derived
+// from the net's canonical structural hash (petri.CanonicalForm), so
+// structurally identical nets — regardless of node names or declaration
+// order — share entries. Stored rows are in *canonical* index space; the
+// cached entry points below translate to and from the requesting net's
+// local indices, which is what makes cross-net sharing sound.
+//
+// Implementations must be safe for concurrent use; internal/engine
+// provides the content-addressed implementation. Values handed to Put
+// must be treated as immutable afterwards.
+type Cache interface {
+	// GetSemiflows returns the rows stored under key, if any.
+	GetSemiflows(key string) ([][]int, bool)
+	// PutSemiflows stores rows under key.
+	PutSemiflows(key string, rows [][]int)
+}
+
+// Key prefixes distinguishing the semiflow layers inside a shared cache.
+const (
+	keyTSemiflows = "tsemi:"
+	keyPSemiflows = "psemi:"
+)
+
+// TInvariantsCached is TInvariants with memoisation: on a hit the minimal
+// T-semiflows are rebuilt from the cached canonical rows instead of
+// running the Farkas enumeration. The result is byte-identical to the
+// uncached computation (same invariants, same deterministic order).
+// A nil cache degrades to TInvariants. Errors are never cached.
+func TInvariantsCached(n *petri.Net, opt Options, c Cache) ([]TInvariant, error) {
+	if c == nil {
+		return TInvariants(n, opt)
+	}
+	cf := n.CanonicalForm()
+	key := keyTSemiflows + cf.Hash
+	if rows, ok := c.GetSemiflows(key); ok {
+		out := make([]TInvariant, len(rows))
+		for i, row := range rows {
+			counts := make([]int, n.NumTransitions())
+			for pos, v := range row {
+				counts[cf.TransAt[pos]] = v
+			}
+			out[i] = TInvariant{Counts: counts}
+		}
+		// Restore the local-order sort TInvariants guarantees: the cached
+		// rows are a permutation of the cold result, so re-sorting yields
+		// exactly the cold output.
+		sortTInvariants(out)
+		return out, nil
+	}
+	tis, err := TInvariants(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]int, len(tis))
+	for i, ti := range tis {
+		row := make([]int, n.NumTransitions())
+		for t, v := range ti.Counts {
+			row[cf.TransPos[t]] = v
+		}
+		rows[i] = row
+	}
+	c.PutSemiflows(key, rows)
+	return tis, nil
+}
+
+// PInvariantsCached is PInvariants with the same memoisation contract as
+// TInvariantsCached.
+func PInvariantsCached(n *petri.Net, opt Options, c Cache) ([]PInvariant, error) {
+	if c == nil {
+		return PInvariants(n, opt)
+	}
+	cf := n.CanonicalForm()
+	key := keyPSemiflows + cf.Hash
+	if rows, ok := c.GetSemiflows(key); ok {
+		out := make([]PInvariant, len(rows))
+		for i, row := range rows {
+			weights := make([]int, n.NumPlaces())
+			for pos, v := range row {
+				weights[cf.PlaceAt[pos]] = v
+			}
+			out[i] = PInvariant{Weights: weights}
+		}
+		sort.Slice(out, func(i, j int) bool { return lessInts(out[i].Weights, out[j].Weights) })
+		return out, nil
+	}
+	pis, err := PInvariants(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]int, len(pis))
+	for i, pi := range pis {
+		row := make([]int, n.NumPlaces())
+		for p, v := range pi.Weights {
+			row[cf.PlacePos[p]] = v
+		}
+		rows[i] = row
+	}
+	c.PutSemiflows(key, rows)
+	return pis, nil
+}

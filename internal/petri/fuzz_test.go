@@ -51,6 +51,51 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzParsePN checks the .pn front end end-to-end: malformed documents
+// must be rejected with an error — never a panic — and accepted documents
+// must survive the structural pipeline (Validate, canonical hashing)
+// without panicking. The canonical hash must also be invariant under a
+// Format round-trip, since Format only renames nothing and reorders
+// declarations — exactly the variation the hash is defined to ignore.
+func FuzzParsePN(f *testing.F) {
+	seeds := []string{
+		"",
+		"net broken\nplace\n",
+		"place p 1\ntrans t\narc p -> t\narc t -> p\n",
+		"place a\nplace b\ntrans t u\n",
+		"arc -> ->\n",
+		"place p 9999999999999999999\n",
+		"trans t\narc t -> t * -3\n",
+		"net n\nplace p 2\ntrans t\narc p -> t * 2\narc t -> p * 2\n",
+		"\x00\x01place p\n",
+		"place p q\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := ParseString(doc)
+		if err != nil {
+			if n != nil {
+				t.Fatal("error with non-nil net")
+			}
+			return // malformed input must error, never panic
+		}
+		_ = n.Validate() // must not panic on any accepted net
+		h := n.CanonicalHash()
+		if h == "" {
+			t.Fatal("empty canonical hash")
+		}
+		back, err := ParseString(Format(n))
+		if err != nil {
+			t.Fatalf("Format output unparseable: %v", err)
+		}
+		if bh := back.CanonicalHash(); bh != h {
+			t.Fatalf("canonical hash not Format-stable: %s vs %s", h, bh)
+		}
+	})
+}
+
 // FuzzFiring checks the firing rule against arbitrary small nets driven
 // by arbitrary firing scripts: no panic, markings stay non-negative, and
 // Fire errors exactly when Enabled is false.

@@ -1,0 +1,235 @@
+package petri
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalForm is a naming- and declaration-order-independent canonical
+// relabelling of a net: nodes are assigned canonical positions by iterated
+// colour refinement (Weisfeiler–Lehman style) over the bipartite weighted
+// flow graph, with the initial marking folded into the place colours. Two
+// nets that differ only in node names or declaration order of symmetric
+// nodes receive the same Hash; equal hashes always denote isomorphic nets
+// (the hash covers the complete relabelled structure, so a collision would
+// require equal canonical adjacency).
+//
+// The permutation is exposed both ways so content-addressed caches can
+// store analysis results in canonical index space and translate them into
+// any requesting net's index space:
+//
+//	canonical position -> local index: PlaceAt / TransAt
+//	local index -> canonical position: PlacePos / TransPos
+type CanonicalForm struct {
+	// Hash is the hex SHA-256 of the canonical structure serialisation.
+	Hash string
+	// PlaceAt[i] is the place occupying canonical position i.
+	PlaceAt []Place
+	// TransAt[i] is the transition occupying canonical position i.
+	TransAt []Transition
+	// PlacePos[p] is the canonical position of place p.
+	PlacePos []int
+	// TransPos[t] is the canonical position of transition t.
+	TransPos []int
+}
+
+// CanonicalHash is CanonicalForm().Hash.
+func (n *Net) CanonicalHash() string { return n.CanonicalForm().Hash }
+
+// CanonicalForm computes the canonical relabelling. Cost is
+// O(rounds × arcs × log) with rounds bounded by the number of nodes;
+// refinement stops as soon as the colour partition is stable.
+func (n *Net) CanonicalForm() *CanonicalForm {
+	nP, nT := n.NumPlaces(), n.NumTransitions()
+	pCol := make([]int, nP)
+	tCol := make([]int, nT)
+
+	// Round 0: structural signatures independent of any prior colours.
+	sigs := make([]string, 0, nP+nT)
+	init := n.initialMark
+	for p := 0; p < nP; p++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "P|m%d|i%d|o%d", markAt(init, p), len(n.placeIn[p]), len(n.placeOut[p]))
+		sb.WriteString("|iw")
+		for _, w := range sortedWeightsT(n.placeIn[p]) {
+			fmt.Fprintf(&sb, " %d", w)
+		}
+		sb.WriteString("|ow")
+		for _, w := range sortedWeightsT(n.placeOut[p]) {
+			fmt.Fprintf(&sb, " %d", w)
+		}
+		sigs = append(sigs, sb.String())
+	}
+	for t := 0; t < nT; t++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "T|i%d|o%d", len(n.pre[t]), len(n.post[t]))
+		sb.WriteString("|iw")
+		for _, w := range sortedWeightsP(n.pre[t]) {
+			fmt.Fprintf(&sb, " %d", w)
+		}
+		sb.WriteString("|ow")
+		for _, w := range sortedWeightsP(n.post[t]) {
+			fmt.Fprintf(&sb, " %d", w)
+		}
+		sigs = append(sigs, sb.String())
+	}
+	classes := rankSignatures(sigs, pCol, tCol)
+
+	// Refinement rounds: a node's new signature is its colour plus the
+	// sorted multiset of (direction, weight, neighbour colour) tuples.
+	// Signature ranks are assigned by lexicographic order of the distinct
+	// signatures, so colours depend only on the multiset — never on the
+	// local iteration order — keeping the result declaration-order stable.
+	for round := 0; round < nP+nT; round++ {
+		sigs = sigs[:0]
+		for p := 0; p < nP; p++ {
+			var tuples []string
+			for _, ta := range n.placeIn[p] {
+				tuples = append(tuples, fmt.Sprintf("<%d,%d", ta.Weight, tCol[ta.Transition]))
+			}
+			for _, ta := range n.placeOut[p] {
+				tuples = append(tuples, fmt.Sprintf(">%d,%d", ta.Weight, tCol[ta.Transition]))
+			}
+			sort.Strings(tuples)
+			sigs = append(sigs, fmt.Sprintf("P%d|%s", pCol[p], strings.Join(tuples, ";")))
+		}
+		for t := 0; t < nT; t++ {
+			var tuples []string
+			for _, a := range n.pre[t] {
+				tuples = append(tuples, fmt.Sprintf("<%d,%d", a.Weight, pCol[a.Place]))
+			}
+			for _, a := range n.post[t] {
+				tuples = append(tuples, fmt.Sprintf(">%d,%d", a.Weight, pCol[a.Place]))
+			}
+			sort.Strings(tuples)
+			sigs = append(sigs, fmt.Sprintf("T%d|%s", tCol[t], strings.Join(tuples, ";")))
+		}
+		next := rankSignatures(sigs, pCol, tCol)
+		if next == classes {
+			break // partition stable
+		}
+		classes = next
+	}
+
+	cf := &CanonicalForm{
+		PlaceAt:  make([]Place, nP),
+		TransAt:  make([]Transition, nT),
+		PlacePos: make([]int, nP),
+		TransPos: make([]int, nT),
+	}
+	for i := range cf.PlaceAt {
+		cf.PlaceAt[i] = Place(i)
+	}
+	for i := range cf.TransAt {
+		cf.TransAt[i] = Transition(i)
+	}
+	// Canonical order: refined colour first, local index as the tie-break
+	// (ties are colour-equivalent nodes, interchangeable for all practical
+	// nets; a tie broken differently still yields a valid — merely
+	// unshared — hash).
+	sort.Slice(cf.PlaceAt, func(i, j int) bool {
+		a, b := cf.PlaceAt[i], cf.PlaceAt[j]
+		if pCol[a] != pCol[b] {
+			return pCol[a] < pCol[b]
+		}
+		return a < b
+	})
+	sort.Slice(cf.TransAt, func(i, j int) bool {
+		a, b := cf.TransAt[i], cf.TransAt[j]
+		if tCol[a] != tCol[b] {
+			return tCol[a] < tCol[b]
+		}
+		return a < b
+	})
+	for i, p := range cf.PlaceAt {
+		cf.PlacePos[p] = i
+	}
+	for i, t := range cf.TransAt {
+		cf.TransPos[t] = i
+	}
+
+	// Serialise the relabelled structure: node counts, markings in
+	// canonical place order, then per canonical transition the sorted
+	// (canonical place, weight) pre- and post-sets.
+	h := sha256.New()
+	fmt.Fprintf(h, "fcpn-canonical-v1|P%d|T%d\nm", nP, nT)
+	for _, p := range cf.PlaceAt {
+		fmt.Fprintf(h, " %d", markAt(init, int(p)))
+	}
+	for i, t := range cf.TransAt {
+		fmt.Fprintf(h, "\nt%d pre", i)
+		for _, pw := range canonicalArcs(n.pre[t], cf.PlacePos) {
+			fmt.Fprintf(h, " %d*%d", pw[0], pw[1])
+		}
+		fmt.Fprintf(h, " post")
+		for _, pw := range canonicalArcs(n.post[t], cf.PlacePos) {
+			fmt.Fprintf(h, " %d*%d", pw[0], pw[1])
+		}
+	}
+	cf.Hash = hex.EncodeToString(h.Sum(nil))
+	return cf
+}
+
+// rankSignatures replaces pCol/tCol with the rank of each node's signature
+// in the lexicographically sorted distinct-signature list and returns the
+// number of distinct signatures.
+func rankSignatures(sigs []string, pCol, tCol []int) int {
+	distinct := append([]string(nil), sigs...)
+	sort.Strings(distinct)
+	uniq := distinct[:0]
+	for i, s := range distinct {
+		if i == 0 || s != distinct[i-1] {
+			uniq = append(uniq, s)
+		}
+	}
+	rank := make(map[string]int, len(uniq))
+	for i, s := range uniq {
+		rank[s] = i
+	}
+	for p := range pCol {
+		pCol[p] = rank[sigs[p]]
+	}
+	for t := range tCol {
+		tCol[t] = rank[sigs[len(pCol)+t]]
+	}
+	return len(uniq)
+}
+
+func markAt(m Marking, p int) int {
+	if p < len(m) {
+		return m[p]
+	}
+	return 0
+}
+
+func sortedWeightsT(arcs []TArc) []int {
+	ws := make([]int, len(arcs))
+	for i, a := range arcs {
+		ws[i] = a.Weight
+	}
+	sort.Ints(ws)
+	return ws
+}
+
+func sortedWeightsP(arcs []ArcRef) []int {
+	ws := make([]int, len(arcs))
+	for i, a := range arcs {
+		ws[i] = a.Weight
+	}
+	sort.Ints(ws)
+	return ws
+}
+
+// canonicalArcs maps a transition's arc list into sorted
+// (canonical place position, weight) pairs.
+func canonicalArcs(arcs []ArcRef, placePos []int) [][2]int {
+	out := make([][2]int, len(arcs))
+	for i, a := range arcs {
+		out[i] = [2]int{placePos[a.Place], a.Weight}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
