@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-json cover fuzz examples atmbench clean
+.PHONY: all build test bench bench-json phase-baseline phase-gate cover fuzz examples atmbench clean
 
 all: build test
 
@@ -16,13 +16,27 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Engine throughput and cache-effectiveness report: the example nets plus
-# a generated 50-net corpus, three passes through one engine (so the
-# second and third hit the cache), with a serial rerun for the speedup
-# ratio. Writes BENCH_engine.json.
+# a generated 50-net corpus, one cold pass and two warm passes through one
+# engine, with a serial rerun of the cold pass for the speedup ratio.
+# Writes BENCH_engine.json (cold and warm throughput are reported
+# separately; see docs/TRACING.md).
 bench-json:
 	go run ./cmd/qssd -gen 50 -repeat 3 -workers 4 -compare-serial \
 		-o BENCH_engine.json examples/nets/*.pn
-	@grep -E '"(nets_per_sec|hit_rate|speedup)"' BENCH_engine.json
+	@grep -E '"(cold_nets_per_sec|warm_nets_per_sec|hit_rate|speedup|gomaxprocs)"' BENCH_engine.json
+
+# Phase-regression gate (see docs/TRACING.md): run a small fixed traced
+# corpus and compare each phase's total time against the committed
+# BENCH_phases.json, failing on any >2x regression. phase-baseline
+# refreshes the committed baseline from the same corpus.
+PHASE_CORPUS = -gen 20 -gen-seed 1 -workers 4
+phase-gate:
+	go run ./cmd/qssd $(PHASE_CORPUS) -o /tmp/phasegate_run.json
+	go run ./cmd/phasegate -report /tmp/phasegate_run.json -baseline BENCH_phases.json
+
+phase-baseline:
+	go run ./cmd/qssd $(PHASE_CORPUS) -o /tmp/phasegate_run.json
+	go run ./cmd/phasegate -report /tmp/phasegate_run.json -baseline BENCH_phases.json -write
 
 cover:
 	go test -coverprofile=cover.out ./...

@@ -3,7 +3,9 @@
 // boundedness and (for bounded nets) deadlock/liveness, siphons and traps,
 // and — for free-choice nets — quasi-static schedulability. With -json it
 // instead emits the analysis engine's deterministic NetReport (the same
-// document type qssd produces per net).
+// document type qssd produces per net). With -phases the human report is
+// followed by a per-phase timing table (see docs/TRACING.md) covering the
+// invariant, reachability and scheduling work the report performed.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fcpn/internal/invariant"
 	"fcpn/internal/petri"
 	"fcpn/internal/reach"
+	"fcpn/internal/trace"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	dot := fs.Bool("dot", false, "emit Graphviz dot instead of the report")
 	simplify := fs.Bool("simplify", false, "apply Murata's reduction rules and print the reduced net")
 	maxStates := fs.Int("max-states", 100000, "state cap for behavioural analysis")
+	phases := fs.Bool("phases", false, "append a per-phase timing table to the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,15 +71,47 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *asJSON {
 		// The deterministic engine report: same type as one `qssd` batch
 		// entry, so tooling can consume both uniformly.
+		rep, err := fcpn.Analyze(n, fcpn.Options{})
+		if err != nil {
+			return err
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(fcpn.Analyze(n, fcpn.Options{}))
+		return enc.Encode(rep)
 	}
-	report(stdout, n, *maxStates)
+	var tr *trace.Tracer
+	if *phases {
+		tr = trace.New()
+	}
+	report(stdout, n, *maxStates, tr)
+	if *phases {
+		printPhases(stdout, tr.Report())
+	}
 	return nil
 }
 
-func report(w io.Writer, n *petri.Net, maxStates int) {
+// printPhases renders a tracer report as an aligned table; detail phases
+// (nested inside a top-level phase, or cache counters) are indented.
+func printPhases(w io.Writer, rep *trace.Report) {
+	if rep == nil || len(rep.Phases) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nphase timings (total %.3f ms across top-level phases):\n", rep.TopTotalMS())
+	fmt.Fprintf(w, "  %-28s %8s %12s %12s %12s\n", "phase", "count", "total ms", "min ms", "max ms")
+	for _, p := range rep.Phases {
+		name := p.Name
+		if p.Detail {
+			name = "  " + name
+		}
+		fmt.Fprintf(w, "  %-28s %8d %12.3f %12.3f %12.3f\n",
+			name, p.Count, p.TotalMS, p.MinMS, p.MaxMS)
+	}
+}
+
+// report prints the human-readable analysis. tr may be nil; when set,
+// each section runs under a top-level span and the inner invariant,
+// reachability and scheduling calls record their detail phases into it.
+func report(w io.Writer, n *petri.Net, maxStates int, tr *trace.Tracer) {
 	fmt.Fprintf(w, "net %q: %d places, %d transitions, %d arcs\n",
 		n.Name(), n.NumPlaces(), n.NumTransitions(), len(n.Arcs()))
 	fmt.Fprintf(w, "class: %s\n", n.Classify())
@@ -92,7 +128,9 @@ func report(w io.Writer, n *petri.Net, maxStates int) {
 		fmt.Fprintf(w, "  %s -> %s\n", strings.Join(places, "+"), nameList(n, c.Transitions))
 	}
 
-	tis, err := invariant.TInvariants(n, invariant.Options{})
+	sp := tr.Start("invariant/tsemiflows")
+	tis, err := invariant.TInvariants(n, invariant.Options{Trace: tr})
+	sp.End()
 	if err != nil {
 		fmt.Fprintf(w, "T-invariants: %v\n", err)
 	} else {
@@ -101,7 +139,9 @@ func report(w io.Writer, n *petri.Net, maxStates int) {
 			fmt.Fprintf(w, "  %v\n", ti.Counts)
 		}
 	}
-	pis, err := invariant.PInvariants(n, invariant.Options{})
+	sp = tr.Start("invariant/psemiflows")
+	pis, err := invariant.PInvariants(n, invariant.Options{Trace: tr})
+	sp.End()
 	if err != nil {
 		fmt.Fprintf(w, "P-invariants: %v\n", err)
 	} else {
@@ -113,18 +153,27 @@ func report(w io.Writer, n *petri.Net, maxStates int) {
 			rep.Rank, rep.Clusters, rep.WellFormed)
 	}
 
+	sp = tr.Start("reach/coverability")
 	bounded, err := reach.Boundedness(n, n.InitialMarking())
+	var k int
+	if err == nil && bounded {
+		k, _ = reach.KBound(n, n.InitialMarking())
+	}
+	sp.End()
 	switch {
 	case err != nil:
 		fmt.Fprintf(w, "boundedness: %v\n", err)
 	case bounded:
-		k, _ := reach.KBound(n, n.InitialMarking())
 		fmt.Fprintf(w, "bounded: yes (k = %d)\n", k)
-		dead, derr := reach.HasDeadlock(n, n.InitialMarking(), reach.Options{MaxStates: maxStates})
+		sp = tr.Start("reach/deadlock")
+		dead, derr := reach.HasDeadlock(n, n.InitialMarking(), reach.Options{MaxStates: maxStates, Trace: tr})
+		sp.End()
 		if derr == nil {
 			fmt.Fprintf(w, "deadlock reachable: %v\n", dead)
 		}
-		live, lerr := reach.Live(n, n.InitialMarking(), reach.Options{MaxStates: maxStates})
+		sp = tr.Start("reach/liveness")
+		live, lerr := reach.Live(n, n.InitialMarking(), reach.Options{MaxStates: maxStates, Trace: tr})
+		sp.End()
 		if lerr == nil {
 			fmt.Fprintf(w, "live: %v\n", live)
 		}
@@ -132,18 +181,24 @@ func report(w io.Writer, n *petri.Net, maxStates int) {
 		fmt.Fprintln(w, "bounded: no (under unconstrained firing; quasi-static scheduling may still bound it)")
 	}
 
+	sp = tr.Start("reach/siphons")
 	siphons := reach.MinimalSiphons(n, 64)
-	fmt.Fprintf(w, "minimal siphons: %d, Commoner holds: %v\n",
-		len(siphons), reach.CommonerHolds(n, n.InitialMarking(), 64))
+	commoner := reach.CommonerHolds(n, n.InitialMarking(), 64)
+	sp.End()
+	fmt.Fprintf(w, "minimal siphons: %d, Commoner holds: %v\n", len(siphons), commoner)
 
 	if n.IsFreeChoice() {
-		s, err := core.Solve(n, core.Options{})
+		sp = tr.Start("core/solve")
+		s, err := core.Solve(n, core.Options{Trace: tr})
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(w, "quasi-static schedulable: no (%v)\n", err)
 		} else {
 			fmt.Fprintf(w, "quasi-static schedulable: yes (%d cycles from %d allocations)\n",
 				len(s.Cycles), s.AllocationCount)
-			tp, err := core.PartitionTasks(n, core.Options{})
+			sp = tr.Start("core/tasks")
+			tp, err := core.PartitionTasks(n, core.Options{Trace: tr})
+			sp.End()
 			if err == nil {
 				fmt.Fprintf(w, "tasks: %d\n", tp.NumTasks())
 			}

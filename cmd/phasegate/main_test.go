@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fakeReport writes a minimal qssd document: only the fields the gate
+// reads.
+func fakeReport(t *testing.T, dir, name string, solveMS, checkMS float64) string {
+	t.Helper()
+	doc := `{
+  "gomaxprocs": 1,
+  "stats": {
+    "trace": {
+      "phases": [
+        {"phase": "core/solve", "count": 20, "total_ms": ` + strconv.FormatFloat(solveMS, 'f', -1, 64) + `},
+        {"phase": "core/check", "count": 20, "total_ms": ` + strconv.FormatFloat(checkMS, 'f', -1, 64) + `, "detail": true},
+        {"phase": "petri/classify", "count": 20, "total_ms": 0.3}
+      ]
+    }
+  }
+}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPhaseGatePassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	base := fakeReport(t, dir, "base.json", 100, 80)
+	baseline := filepath.Join(dir, "BENCH_phases.json")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-report", base, "-baseline", baseline, "-write"}, &buf); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+
+	// Same numbers: must pass.
+	buf.Reset()
+	if err := run([]string{"-report", base, "-baseline", baseline}, &buf); err != nil {
+		t.Fatalf("self-compare must pass: %v\n%s", err, buf.String())
+	}
+
+	// 3x regression on core/solve: must fail at the default 2x factor.
+	slow := fakeReport(t, dir, "slow.json", 300, 80)
+	buf.Reset()
+	if err := run([]string{"-report", slow, "-baseline", baseline}, &buf); err == nil {
+		t.Fatalf("3x regression must fail the gate:\n%s", buf.String())
+	}
+
+	// A regression confined to a sub-floor phase (petri/classify holds
+	// 0.3 ms in the baseline) must not gate; raising the floor above
+	// every phase is rejected instead of passing vacuously.
+	buf.Reset()
+	if err := run([]string{"-report", base, "-baseline", baseline, "-floor-ms", "1000"}, &buf); err == nil {
+		t.Fatal("a floor above every phase must be an error, not a pass")
+	}
+}
+
+func TestPhaseGateMissingTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(path, []byte(`{"stats":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-report", path, "-baseline", filepath.Join(dir, "b.json"), "-write"}, &buf); err == nil {
+		t.Fatal("report without a trace block must be rejected")
+	}
+}

@@ -6,13 +6,15 @@
 // Usage:
 //
 //	qss [-c] [-standalone] [-guards] [-schedule] [-tasks] [-bounds]
-//	    [-verify-bounds] [file.pn]
+//	    [-verify-bounds] [-cpuprofile f] [-trace f] [file.pn]
 //
 // With no file the net is read from stdin. With no mode flags, -schedule
 // is assumed. -verify-bounds replays the synthesised implementation under
 // seeded fault scenarios (bursts, duplicates, losses, timer jitter) and
 // checks the observed buffer peaks against the net's structural bounds;
 // -guards emits runtime overflow checks into the generated C.
+// -cpuprofile and -trace capture a pprof CPU profile / runtime execution
+// trace of the whole run for `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	"fcpn"
@@ -58,8 +62,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	scenarios := fs.Int("scenarios", 10, "with -verify-bounds: number of seeded fault scenarios")
 	faultSeed := fs.Uint64("fault-seed", 0xFA117, "with -verify-bounds: scenario seed")
 	eventsPer := fs.Int("events", 50, "with -verify-bounds: workload events per source transition")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	execTrace := fs.String("trace", "", "write a runtime/trace execution trace of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
 	}
 
 	in := stdin

@@ -2,20 +2,28 @@
 // it loads a corpus of nets — from a manifest file, from .pn files on the
 // command line, or generated on the fly — analyses them concurrently
 // through the shared content-addressed cache, and writes one JSON report
-// with per-net results and timings plus the engine's cache and worker
-// counters.
+// with per-net results, per-net phase traces and timings plus the
+// engine's cache, worker and lifetime-trace counters.
 //
 // Usage:
 //
 //	qssd [-manifest list.txt] [-gen N] [-gen-seed S] [-workers W]
-//	     [-repeat R] [-compare-serial] [-o report.json] [file.pn ...]
+//	     [-repeat R] [-compare-serial] [-cpuprofile f] [-trace f]
+//	     [-o report.json] [file.pn ...]
 //
 // A manifest is a text file with one .pn path per line ('#' comments);
-// relative paths resolve against the manifest's directory. -repeat R
-// analyses the corpus R times through one engine, so repeated manifests
-// exercise the cache-hit path (the report's stats show the hit rate).
-// -compare-serial reruns the corpus cold on a one-worker engine and
-// reports the throughput ratio.
+// relative paths resolve against the manifest's directory.
+//
+// The corpus runs as one *cold* pass (every net analysed once against an
+// empty cache) followed by R-1 *warm* passes against the now-populated
+// cache, all through one engine. The two regimes are reported separately
+// — cold_nets_per_sec measures analysis throughput, warm_nets_per_sec
+// measures cache-hit throughput — because averaging them produced a
+// meaningless blended figure. -compare-serial reruns only the cold pass
+// on a fresh one-worker engine; speedup is the cold-pass ratio, the only
+// one where the workers have real work to parallelise. gomaxprocs and
+// num_cpu are recorded so a ~1.0 speedup on a single-CPU host reads as
+// the hardware bound it is, not an engine defect.
 package main
 
 import (
@@ -26,6 +34,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -34,6 +45,7 @@ import (
 	"fcpn/internal/engine/stats"
 	"fcpn/internal/netgen"
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
 
 func main() {
@@ -46,28 +58,44 @@ func main() {
 // batchReport is the JSON document qssd emits (also the BENCH_engine.json
 // payload). Per-net reports are deterministic; timings are not.
 type batchReport struct {
-	Workers    int     `json:"workers"`
-	Repeat     int     `json:"repeat"`
-	Nets       int     `json:"nets"`
-	Jobs       int     `json:"jobs"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
-	NetsPerSec float64 `json:"nets_per_sec"`
+	Workers int `json:"workers"`
+	Repeat  int `json:"repeat"`
+	Nets    int `json:"nets"`
+	Jobs    int `json:"jobs"`
+	// GoMaxProcs and NumCPU describe the host's real parallelism: with
+	// GOMAXPROCS=1 every speedup is bounded by 1.0 regardless of worker
+	// count.
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+
+	// Cold pass: every distinct net once, empty cache.
+	ColdElapsedMS  float64 `json:"cold_elapsed_ms"`
+	ColdNetsPerSec float64 `json:"cold_nets_per_sec"`
+	// Warm passes (-repeat > 1): the same corpus against the warm cache.
+	WarmElapsedMS  float64 `json:"warm_elapsed_ms,omitempty"`
+	WarmNetsPerSec float64 `json:"warm_nets_per_sec,omitempty"`
+	// ElapsedMS is the total batch wall time (cold + warm passes).
+	ElapsedMS float64 `json:"elapsed_ms"`
 
 	Stats stats.Snapshot `json:"stats"`
 
-	// SerialElapsedMS and Speedup are present with -compare-serial: the
-	// same corpus, cold, on a one-worker engine.
-	SerialElapsedMS float64 `json:"serial_elapsed_ms,omitempty"`
-	Speedup         float64 `json:"speedup,omitempty"`
+	// SerialColdElapsedMS and Speedup are present with -compare-serial:
+	// the cold pass rerun on a fresh one-worker engine, and the ratio
+	// serial/parallel of the two cold passes.
+	SerialColdElapsedMS float64 `json:"serial_cold_elapsed_ms,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
 
 	Results []netResult `json:"results"`
 }
 
 // netResult is one corpus entry: where the net came from, its
-// deterministic report, and this run's wall-clock analysis time.
+// deterministic report, this run's cold-pass wall-clock analysis time and
+// the cold pass's per-phase trace (whose non-detail phases sum to
+// ElapsedMS modulo scheduling glue).
 type netResult struct {
 	Source    string            `json:"source"`
 	ElapsedMS float64           `json:"elapsed_ms"`
+	Trace     *trace.Report     `json:"trace,omitempty"`
 	Report    *engine.NetReport `json:"report"`
 }
 
@@ -78,8 +106,10 @@ func run(args []string, stdout io.Writer) error {
 	gen := fs.Int("gen", 0, "generate N schedulable pipeline nets instead of/alongside files")
 	genSeed := fs.Uint64("gen-seed", 1, "first seed for -gen (seeds S..S+N-1)")
 	workers := fs.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-	repeat := fs.Int("repeat", 1, "analyse the corpus this many times through one engine")
-	compareSerial := fs.Bool("compare-serial", false, "also run the corpus cold on one worker and report the speedup")
+	repeat := fs.Int("repeat", 1, "analyse the corpus this many times through one engine (pass 1 cold, the rest warm)")
+	compareSerial := fs.Bool("compare-serial", false, "also run the cold pass on one worker and report the speedup")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the batch to this file")
+	execTrace := fs.String("trace", "", "write a runtime/trace execution trace of the batch to this file")
 	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,32 +126,71 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("empty corpus: give .pn files, -manifest, or -gen")
 	}
 
-	// One engine for every pass: pass 2..R runs against the warm cache.
-	jobs := make([]*petri.Net, 0, len(nets)**repeat)
-	for r := 0; r < *repeat; r++ {
-		jobs = append(jobs, nets...)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+
+	// One engine for every pass; the cold pass runs alone so its timings
+	// are not diluted by cache-hit jobs (and its speedup is measured
+	// against real work).
 	e := engine.New(engine.Config{Workers: *workers})
 	t0 := time.Now()
-	results := e.AnalyzeBatch(jobs)
-	elapsed := time.Since(t0)
+	results, err := e.AnalyzeBatch(nets)
+	if err != nil {
+		return err
+	}
+	cold := time.Since(t0)
+	var warm time.Duration
+	for r := 1; r < *repeat; r++ {
+		tw := time.Now()
+		if _, err := e.AnalyzeBatch(nets); err != nil {
+			return err
+		}
+		warm += time.Since(tw)
+	}
 	snap := e.Stats()
 	e.Close()
 
 	rep := batchReport{
-		Workers:    e.Workers(),
-		Repeat:     *repeat,
-		Nets:       len(nets),
-		Jobs:       len(jobs),
-		ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
-		NetsPerSec: float64(len(jobs)) / elapsed.Seconds(),
-		Stats:      snap,
+		Workers:        e.Workers(),
+		Repeat:         *repeat,
+		Nets:           len(nets),
+		Jobs:           len(nets) * *repeat,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		ColdElapsedMS:  msOf(cold),
+		ColdNetsPerSec: float64(len(nets)) / cold.Seconds(),
+		ElapsedMS:      msOf(cold + warm),
+		Stats:          snap,
 	}
-	// Report the first pass per net; later passes only differ in timing.
+	if *repeat > 1 {
+		rep.WarmElapsedMS = msOf(warm)
+		rep.WarmNetsPerSec = float64(len(nets)*(*repeat-1)) / warm.Seconds()
+	}
 	for i := range nets {
 		rep.Results = append(rep.Results, netResult{
 			Source:    sources[i],
-			ElapsedMS: float64(results[i].Elapsed.Nanoseconds()) / 1e6,
+			ElapsedMS: msOf(results[i].Elapsed),
+			Trace:     results[i].Trace,
 			Report:    results[i].Report,
 		})
 	}
@@ -129,12 +198,14 @@ func run(args []string, stdout io.Writer) error {
 	if *compareSerial {
 		se := engine.New(engine.Config{Workers: 1})
 		t0 := time.Now()
-		se.AnalyzeBatch(jobs)
+		if _, err := se.AnalyzeBatch(nets); err != nil {
+			return err
+		}
 		serial := time.Since(t0)
 		se.Close()
-		rep.SerialElapsedMS = float64(serial.Nanoseconds()) / 1e6
-		if elapsed > 0 {
-			rep.Speedup = float64(serial.Nanoseconds()) / float64(elapsed.Nanoseconds())
+		rep.SerialColdElapsedMS = msOf(serial)
+		if cold > 0 {
+			rep.Speedup = float64(serial.Nanoseconds()) / float64(cold.Nanoseconds())
 		}
 	}
 
@@ -151,6 +222,8 @@ func run(args []string, stdout io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(&rep)
 }
+
+func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // loadCorpus assembles the net list: manifest entries, then positional
 // files, then generated nets. Sources are the file paths, or "gen:<seed>"

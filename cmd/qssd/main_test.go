@@ -39,6 +39,15 @@ func TestQssdManifestAndRepeat(t *testing.T) {
 	if rep.Stats.CacheHits == 0 {
 		t.Errorf("repeated manifest produced no cache hits: %+v", rep.Stats)
 	}
+	if rep.ColdElapsedMS <= 0 || rep.WarmElapsedMS <= 0 {
+		t.Errorf("missing cold/warm split: cold=%v warm=%v", rep.ColdElapsedMS, rep.WarmElapsedMS)
+	}
+	if rep.ColdNetsPerSec <= 0 || rep.WarmNetsPerSec <= 0 {
+		t.Errorf("missing cold/warm throughput: %+v", rep)
+	}
+	if rep.GoMaxProcs < 1 || rep.NumCPU < 1 {
+		t.Errorf("missing host parallelism fields: %+v", rep)
+	}
 	if len(rep.Results) != 1 || !rep.Results[0].Report.Schedulable {
 		t.Fatalf("bad results: %+v", rep.Results)
 	}
@@ -58,12 +67,22 @@ func TestQssdGeneratedCorpus(t *testing.T) {
 	if rep.Stats.HitRate == 0 {
 		t.Errorf("warm pass produced no hits: %+v", rep.Stats)
 	}
-	if rep.Speedup == 0 || rep.SerialElapsedMS == 0 {
+	if rep.Speedup == 0 || rep.SerialColdElapsedMS == 0 {
 		t.Errorf("-compare-serial missing from report: %+v", rep)
 	}
 	for _, r := range rep.Results {
 		if !r.Report.Schedulable {
 			t.Errorf("generated pipeline %s not schedulable: %s", r.Source, r.Report.ScheduleError)
+		}
+		if r.Trace == nil || len(r.Trace.Phases) == 0 {
+			t.Errorf("net %s: missing per-net trace block", r.Source)
+			continue
+		}
+		// The trace block must account for the job: non-detail phases sum
+		// to the elapsed wall time modulo scheduling glue (acceptance says
+		// within 10%; allow an absolute floor for sub-ms jobs).
+		if top := r.Trace.TopTotalMS(); top > r.ElapsedMS*1.02+0.05 {
+			t.Errorf("net %s: phases sum to %.3f ms beyond elapsed %.3f ms", r.Source, top, r.ElapsedMS)
 		}
 	}
 }

@@ -38,7 +38,11 @@ func TestConcurrentPublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := json.Marshal(e.Analyze(n))
+		nr, err := e.Analyze(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := json.Marshal(nr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +78,12 @@ func TestConcurrentPublicAPI(t *testing.T) {
 				if syn.C(true) != want[i].c {
 					t.Errorf("goroutine %d: generated C for %q diverged", g, n.Name())
 				}
-				rep, _ := json.Marshal(e.Analyze(n))
+				nr, err := e.Analyze(n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rep, _ := json.Marshal(nr)
 				if string(rep) != want[i].report {
 					t.Errorf("goroutine %d: engine report for %q diverged", g, n.Name())
 				}

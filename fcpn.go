@@ -10,6 +10,7 @@ import (
 	"fcpn/internal/engine/stats"
 	"fcpn/internal/petri"
 	"fcpn/internal/spec"
+	"fcpn/internal/trace"
 )
 
 // Re-exported model types. The aliases let callers hold and build nets
@@ -211,9 +212,16 @@ type (
 	// EngineResult pairs a NetReport with its wall-clock analysis time.
 	EngineResult = engine.Result
 	// EngineStats is a snapshot of the engine's counters (jobs, cache
-	// hits/misses, worker utilisation).
+	// hits/misses, worker utilisation) and its lifetime phase trace.
 	EngineStats = stats.Snapshot
+	// TraceReport is a per-phase timing breakdown (see internal/trace
+	// and docs/TRACING.md): per-job in EngineResult.Trace, engine-wide
+	// in EngineStats.Trace.
+	TraceReport = trace.Report
 )
+
+// ErrEngineClosed is returned by engine methods called after Close.
+var ErrEngineClosed = engine.ErrEngineClosed
 
 // NewEngine starts a concurrent analysis engine. Results are independent
 // of the worker count, and cache hits are byte-identical to cold runs.
@@ -227,7 +235,7 @@ func CanonicalHash(n *Net) string { return n.CanonicalHash() }
 // Analyze runs the engine's full structural + behavioural analysis of one
 // net through an ephemeral engine. For batches or repeated queries, keep
 // a NewEngine instance instead so the cache is shared.
-func Analyze(n *Net, opt Options) *NetReport {
+func Analyze(n *Net, opt Options) (*NetReport, error) {
 	e := engine.New(engine.Config{Workers: 1, Core: opt})
 	defer e.Close()
 	return e.Analyze(n)

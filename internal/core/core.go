@@ -28,6 +28,7 @@ import (
 
 	"fcpn/internal/invariant"
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
 
 // Options tunes the solver. The zero value uses sensible defaults.
@@ -57,6 +58,13 @@ type Options struct {
 	// Implementations must be safe for concurrent use (see
 	// internal/engine). Nil disables memoisation.
 	Semiflows invariant.Cache
+	// Trace optionally records detail spans for the pipeline's inner
+	// steps: "core/enumerate" (allocation/reduction enumeration),
+	// "core/check" (one per T-reduction schedulability check — the unit
+	// of Workers fan-out), "core/cycle" (finite-complete-cycle search)
+	// and the invariant package's spans. Nil disables collection; spans
+	// may end on any worker goroutine.
+	Trace *trace.Tracer
 }
 
 func (o Options) maxAllocations() int {
@@ -140,7 +148,7 @@ func Solve(n *petri.Net, opt Options) (*Schedule, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	sched := &Schedule{Net: n, AllocationCount: CountAllocations(n)}
+	sp := opt.Trace.StartDetail("core/enumerate")
 	var reductions []*Reduction
 	if opt.KeepDuplicateReductions {
 		// Ablation path: one reduction per allocation, duplicates kept.
@@ -161,25 +169,34 @@ func Solve(n *petri.Net, opt Options) (*Schedule, error) {
 			return nil, err
 		}
 	}
+	sp.End()
+	return SolveReductions(n, reductions, opt)
+}
+
+// SolveReductions is the schedulability sweep of Solve over an
+// already-enumerated reduction set. Callers that hold the reductions for
+// other purposes (internal/engine enumerates them for its report) pass
+// them here instead of paying a second enumeration inside Solve; the
+// result is identical to Solve on the same net when the set is the one
+// EnumerateDistinctReductions produces.
+func SolveReductions(n *petri.Net, reductions []*Reduction, opt Options) (*Schedule, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	sched := &Schedule{Net: n, AllocationCount: CountAllocations(n)}
 	// Schedulability sweep: each reduction's check is independent, so they
 	// fan out across workers; merging in enumeration order keeps the
 	// result — including which failing reduction is diagnosed — identical
-	// to the serial sweep (the serial path stops at the first failure; the
-	// parallel path computes all reports but returns the same, lowest
-	// enumeration-index failure).
+	// to the serial sweep. Every reduction is checked even when an early
+	// one fails, so the phase trace (core/check count) is a function of
+	// the net alone, not of the worker count or of goroutine timing.
 	reports := make([]*ReductionReport, len(reductions))
-	if opt.workerCount() == 1 {
-		for i, red := range reductions {
-			reports[i] = CheckReduction(n, red, opt)
-			if !reports[i].Schedulable {
-				return nil, &NotSchedulableError{Report: reports[i]}
-			}
-		}
-	} else {
-		forEachIndex(len(reductions), opt.workerCount(), func(i int) {
-			reports[i] = CheckReduction(n, reductions[i], opt)
-		})
+	check := func(i int) {
+		sp := opt.Trace.StartDetail("core/check")
+		reports[i] = CheckReduction(n, reductions[i], opt)
+		sp.End()
 	}
+	forEachIndex(len(reductions), opt.workerCount(), check)
 	for i, report := range reports {
 		if !report.Schedulable {
 			return nil, &NotSchedulableError{Report: report}

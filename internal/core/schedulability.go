@@ -47,7 +47,13 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 	report := &ReductionReport{Reduction: red}
 	sub := red.Sub.Net
 
-	tis, err := invariant.TInvariantsCached(sub, invariant.Options{MaxRows: opt.MaxRows}, opt.Semiflows)
+	// Subnet T-semiflows are computed directly, bypassing opt.Semiflows:
+	// keying the content-addressed cache costs a canonical-form computation
+	// per fresh reduction subnet, and phase traces showed that costing more
+	// than the (int64 fast path) Farkas runs it saves. Whole-net Solve
+	// results are memoised one level up by internal/engine, so warm
+	// analyses never reach this code anyway.
+	tis, err := invariant.TInvariants(sub, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace})
 	if err != nil {
 		report.FailReason = fmt.Sprintf("invariant computation failed: %v", err)
 		return report
@@ -103,7 +109,9 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 
 	// (3) Deadlock-free simulation realising the covering counts and
 	// returning to the initial marking.
+	sp := opt.Trace.StartDetail("core/cycle")
 	seq, simErr := FindCompleteCycle(sub, report.CoveringCounts, opt.maxCycleLength())
+	sp.End()
 	if simErr != nil {
 		report.FailReason = fmt.Sprintf("T-reduction %q deadlocks: %v", sub.Name(), simErr)
 		return report

@@ -42,7 +42,7 @@ type TaskPartition struct {
 // T-invariants. For a net without source transitions the whole net forms
 // one autonomous task.
 func PartitionTasks(n *petri.Net, opt Options) (*TaskPartition, error) {
-	tis, err := invariant.TInvariantsCached(n, invariant.Options{MaxRows: opt.MaxRows}, opt.Semiflows)
+	tis, err := invariant.TInvariantsCached(n, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace}, opt.Semiflows)
 	if err != nil {
 		return nil, fmt.Errorf("core: task partition: %w", err)
 	}

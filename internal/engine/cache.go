@@ -2,9 +2,11 @@ package engine
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"fcpn/internal/engine/stats"
+	"fcpn/internal/trace"
 )
 
 // cache is the engine's content-addressed store: a bounded, goroutine-safe
@@ -23,6 +25,10 @@ type cache struct {
 	lru      list.List // front = most recent; values are *cacheEntry
 	inflight map[string]*flight
 	counters *stats.Counters
+	// tracer receives per-layer lookup counters
+	// ("cache/<layer>/hit|miss|wait"), derived from the key prefix. The
+	// aggregate counters above stay layer-blind for compatibility.
+	tracer *trace.Tracer
 }
 
 type cacheEntry struct {
@@ -36,7 +42,7 @@ type flight struct {
 	err  error
 }
 
-func newCache(capacity int, counters *stats.Counters) *cache {
+func newCache(capacity int, counters *stats.Counters, tracer *trace.Tracer) *cache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
@@ -45,7 +51,21 @@ func newCache(capacity int, counters *stats.Counters) *cache {
 		entries:  make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
 		counters: counters,
+		tracer:   tracer,
 	}
+}
+
+// count records a layer-resolved lookup outcome ("hit", "miss", "wait")
+// on the tracer's counters.
+func (c *cache) count(key, outcome string) {
+	if c.tracer == nil {
+		return
+	}
+	layer := key
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		layer = key[:i]
+	}
+	c.tracer.Add("cache/"+layer+"/"+outcome, 1)
 }
 
 // get returns the value stored under key and counts the hit or miss.
@@ -55,9 +75,11 @@ func (c *cache) get(key string) (any, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.counters.CacheMisses.Add(1)
+		c.count(key, "miss")
 		return nil, false
 	}
 	c.counters.CacheHits.Add(1)
+	c.count(key, "hit")
 	c.lru.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
@@ -87,6 +109,7 @@ func (c *cache) getOrCompute(key string, compute func() (any, error)) (any, erro
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.counters.CacheHits.Add(1)
+		c.count(key, "hit")
 		c.lru.MoveToFront(el)
 		v := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
@@ -95,11 +118,13 @@ func (c *cache) getOrCompute(key string, compute func() (any, error)) (any, erro
 	if f, ok := c.inflight[key]; ok {
 		// A concurrent computation is underway; share its outcome.
 		c.counters.CacheHits.Add(1)
+		c.count(key, "wait")
 		c.mu.Unlock()
 		<-f.done
 		return f.val, f.err
 	}
 	c.counters.CacheMisses.Add(1)
+	c.count(key, "miss")
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()

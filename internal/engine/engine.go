@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -25,7 +26,13 @@ import (
 	"fcpn/internal/engine/stats"
 	"fcpn/internal/invariant"
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
+
+// ErrEngineClosed is returned by Analyze/AnalyzeBatch/Synthesize after
+// Close: the worker pool is gone, so new jobs cannot run. (The cache
+// stays readable through results already held by the caller.)
+var ErrEngineClosed = errors.New("engine: closed")
 
 // Config tunes the engine. The zero value is usable: GOMAXPROCS workers,
 // a 4096-entry cache, default solver options.
@@ -51,18 +58,30 @@ type Engine struct {
 	workers  int
 	cache    *cache
 	counters stats.Counters
+	tracer   *trace.Tracer // lifetime aggregate of every job's phases
 	start    time.Time
 
 	jobs      chan func()
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// mu guards closed against concurrent submits: a send on the closed
+	// jobs channel would panic, so Close flips the flag under the write
+	// lock and every submit checks it under the read lock.
+	mu     sync.RWMutex
+	closed bool
 }
 
-// Result pairs a report with its wall-clock analysis time. Elapsed is the
-// only non-deterministic field, which is why it lives outside NetReport.
+// Result pairs a report with its wall-clock analysis time and phase
+// trace. Elapsed and the trace durations are the only non-deterministic
+// outputs, which is why they live outside NetReport (phase *counts* are
+// deterministic and worker-count independent).
 type Result struct {
 	Report  *NetReport
 	Elapsed time.Duration
+	// Trace is the job's per-phase breakdown; its non-detail phases sum
+	// to Elapsed modulo scheduling glue.
+	Trace *trace.Report
 }
 
 // New starts an engine with its worker pool.
@@ -74,10 +93,11 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		cfg:     cfg,
 		workers: workers,
+		tracer:  trace.New(),
 		start:   time.Now(),
 		jobs:    make(chan func()),
 	}
-	e.cache = newCache(cfg.CacheCapacity, &e.counters)
+	e.cache = newCache(cfg.CacheCapacity, &e.counters, e.tracer)
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -98,65 +118,96 @@ func (e *Engine) worker() {
 }
 
 // Close shuts the pool down and waits for in-flight jobs. The cache stays
-// readable; submitting new jobs after Close panics.
+// readable; submitting new jobs after Close returns ErrEngineClosed.
 func (e *Engine) Close() {
-	e.closeOnce.Do(func() { close(e.jobs) })
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		close(e.jobs)
+		e.mu.Unlock()
+	})
 	e.wg.Wait()
 }
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// Stats snapshots the engine counters.
+// Stats snapshots the engine counters, including the lifetime per-phase
+// trace aggregate across every job run so far.
 func (e *Engine) Stats() stats.Snapshot {
-	return e.counters.Snapshot(e.workers, time.Since(e.start).Nanoseconds())
+	s := e.counters.Snapshot(e.workers, time.Since(e.start).Nanoseconds())
+	s.Trace = e.tracer.Report()
+	return s
 }
 
-// coreOpts is the per-job solver configuration: the engine's cache and —
-// unless the caller pinned one — its worker count for the inner
-// schedulability sweep.
-func (e *Engine) coreOpts() core.Options {
+// coreOpts is the per-job solver configuration: the engine's cache, the
+// job's tracer and — unless the caller pinned one — the engine's worker
+// count for the inner schedulability sweep.
+func (e *Engine) coreOpts(tr *trace.Tracer) core.Options {
 	opt := e.cfg.Core
 	opt.Semiflows = semiflowCache{e.cache}
+	opt.Trace = tr
 	if opt.Workers == 0 {
 		opt.Workers = e.workers
 	}
 	return opt
 }
 
-// run executes fn on the pool and waits for it.
-func (e *Engine) run(fn func()) {
-	done := make(chan struct{})
+// submit schedules fn on the pool, or reports ErrEngineClosed.
+func (e *Engine) submit(fn func()) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
 	e.counters.QueueDepth.Add(1)
-	e.jobs <- func() { fn(); close(done) }
+	e.jobs <- fn
+	return nil
+}
+
+// run executes fn on the pool and waits for it.
+func (e *Engine) run(fn func()) error {
+	done := make(chan struct{})
+	if err := e.submit(func() { fn(); close(done) }); err != nil {
+		return err
+	}
 	<-done
+	return nil
 }
 
 // Analyze runs the full structural + behavioural analysis of one net on
-// the pool and returns its deterministic report.
-func (e *Engine) Analyze(n *petri.Net) *NetReport {
+// the pool and returns its deterministic report. After Close it returns
+// ErrEngineClosed.
+func (e *Engine) Analyze(n *petri.Net) (*NetReport, error) {
 	var rep *NetReport
-	e.run(func() { rep = e.analyze(n) })
-	return rep
+	if err := e.run(func() { rep, _ = e.analyze(n) }); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // AnalyzeBatch analyses the nets concurrently across the pool and returns
-// the results in input order.
-func (e *Engine) AnalyzeBatch(nets []*petri.Net) []Result {
+// the results in input order. After Close it returns ErrEngineClosed
+// (jobs already submitted still finish).
+func (e *Engine) AnalyzeBatch(nets []*petri.Net) ([]Result, error) {
 	out := make([]Result, len(nets))
 	var wg sync.WaitGroup
 	for i, n := range nets {
 		i, n := i, n
 		wg.Add(1)
-		e.counters.QueueDepth.Add(1)
-		e.jobs <- func() {
+		if err := e.submit(func() {
 			defer wg.Done()
 			t0 := time.Now()
-			out[i] = Result{Report: e.analyze(n), Elapsed: time.Since(t0)}
+			rep, tr := e.analyze(n)
+			out[i] = Result{Report: rep, Elapsed: time.Since(t0), Trace: tr}
+		}); err != nil {
+			wg.Done()
+			wg.Wait()
+			return nil, err
 		}
 	}
 	wg.Wait()
-	return out
+	return out, nil
 }
 
 // Synthesize runs the complete pipeline — schedule, task partition, code
@@ -167,22 +218,34 @@ func (e *Engine) AnalyzeBatch(nets []*petri.Net) []Result {
 func (e *Engine) Synthesize(n *petri.Net) (*Synthesis, error) {
 	var syn *Synthesis
 	var err error
-	e.run(func() { syn, err = e.synthesize(n) })
+	if rerr := e.run(func() { syn, err = e.synthesize(n) }); rerr != nil {
+		return nil, rerr
+	}
 	return syn, err
 }
 
 func (e *Engine) synthesize(n *petri.Net) (*Synthesis, error) {
 	e.counters.Jobs.Add(1)
+	tr := trace.New()
+	defer e.tracer.Merge(tr)
+	sp := tr.Start("petri/canonical")
 	cf := n.CanonicalForm()
-	sched, err := e.schedule(n, cf)
+	sp.End()
+	sp = tr.Start("core/solve")
+	sched, err := e.schedule(n, cf, nil, tr)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	tp, err := core.PartitionTasks(n, e.coreOpts())
+	sp = tr.Start("core/tasks")
+	tp, err := core.PartitionTasks(n, e.coreOpts(tr))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start("codegen/generate")
 	prog, err := codegen.Generate(sched, tp)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -205,13 +268,26 @@ type cachedCycle struct {
 }
 
 // schedule returns the net's valid schedule through the cache: on a miss
-// core.Solve runs (parallel sweep, memoised semiflows) and the result is
+// the solver runs (parallel sweep, memoised semiflows) and the result is
 // canonicalised; hit or miss, the returned Schedule is rebuilt from the
 // canonical payload, which is what makes warm results byte-identical to
 // cold ones. Solve failures are returned, never cached.
-func (e *Engine) schedule(n *petri.Net, cf *petri.CanonicalForm) (*core.Schedule, error) {
+//
+// reds, when non-nil, is the distinct-reduction set the caller already
+// enumerated for this net (reductions()): the miss path sweeps it
+// directly instead of re-enumerating, and the rebuild reuses its
+// Reduction objects instead of re-running Reduce per cycle. Nil — the
+// warm path, or a caller without the set — falls back to the
+// self-contained computation.
+func (e *Engine) schedule(n *petri.Net, cf *petri.CanonicalForm, reds []*core.Reduction, tr *trace.Tracer) (*core.Schedule, error) {
 	v, err := e.cache.getOrCompute("sched:"+cf.Hash, func() (any, error) {
-		s, err := core.Solve(n, e.coreOpts())
+		var s *core.Schedule
+		var err error
+		if reds != nil && !e.cfg.Core.KeepDuplicateReductions {
+			s, err = core.SolveReductions(n, reds, e.coreOpts(tr))
+		} else {
+			s, err = core.Solve(n, e.coreOpts(tr))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +296,7 @@ func (e *Engine) schedule(n *petri.Net, cf *petri.CanonicalForm) (*core.Schedule
 	if err != nil {
 		return nil, err
 	}
-	return rebuildSchedule(n, cf, v.(*cachedSchedule))
+	return rebuildSchedule(n, cf, v.(*cachedSchedule), reds)
 }
 
 func toCachedSchedule(cf *petri.CanonicalForm, s *core.Schedule) *cachedSchedule {
@@ -247,13 +323,23 @@ func toCachedSchedule(cf *petri.CanonicalForm, s *core.Schedule) *cachedSchedule
 	return cs
 }
 
-func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule) (*core.Schedule, error) {
+func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule, reds []*core.Reduction) (*core.Schedule, error) {
 	clusters := n.FreeChoiceSets()
 	clusterOf := map[petri.Place]int{}
 	for i, c := range clusters {
 		for _, p := range c.Places {
 			clusterOf[p] = i
 		}
+	}
+	// Cold path: the caller's enumerated reductions carry exactly the
+	// allocations the cached cycles were derived from, so the Reduce per
+	// cycle below is redundant — index them by chosen-transition vector
+	// and reuse. Warm rebuilds (reds == nil, possibly a different
+	// isomorphic net) recompute; Reduce is deterministic in the
+	// allocation, so both paths produce identical schedules.
+	byChosen := make(map[string]*core.Reduction, len(reds))
+	for _, r := range reds {
+		byChosen[chosenKey(r.Allocation.Chosen)] = r
 	}
 	sched := &core.Schedule{Net: n, AllocationCount: core.CountAllocations(n)}
 	for _, cc := range cs.cycles {
@@ -274,25 +360,52 @@ func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule) 
 			}
 			chosen[ci] = t
 		}
-		alloc := &core.Allocation{Clusters: clusters, Chosen: chosen}
+		red := byChosen[chosenKey(chosen)]
+		if red == nil {
+			red = core.Reduce(n, &core.Allocation{Clusters: clusters, Chosen: chosen})
+		}
 		sched.Cycles = append(sched.Cycles, core.Cycle{
 			Sequence:  seq,
 			Counts:    n.FiringCount(seq),
-			Reduction: core.Reduce(n, alloc),
+			Reduction: red,
 		})
 	}
 	return sched, nil
 }
 
+// chosenKey is a map key for an allocation's chosen-transition vector
+// (clusters are always in petri.FreeChoiceSets order).
+func chosenKey(chosen []petri.Transition) string {
+	b := make([]byte, 0, 4*len(chosen))
+	for _, t := range chosen {
+		b = appendInt(b, int(t))
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
 // reductions returns, per distinct T-reduction, the canonically sorted
-// kept-transition sets, mapped to the net's transitions.
-func (e *Engine) reductions(n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Transition, error) {
+// kept-transition sets, mapped to the net's transitions. The second
+// return is the raw reduction set in enumeration order when THIS call
+// computed it (a cache miss this goroutine won): analyze hands it to
+// schedule() so a cold job enumerates reductions exactly once. On hits —
+// and for singleflight waiters — it is nil.
+func (e *Engine) reductions(n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Transition, []*core.Reduction, error) {
 	max := e.cfg.Core.MaxAllocations
+	var fresh []*core.Reduction
 	v, err := e.cache.getOrCompute("reds:"+cf.Hash, func() (any, error) {
 		reds, err := core.EnumerateDistinctReductions(n, max)
 		if err != nil {
 			return nil, err
 		}
+		fresh = reds
 		rows := make([][]int, len(reds))
 		for i, r := range reds {
 			row := make([]int, len(r.Sub.ParentTransition))
@@ -306,7 +419,7 @@ func (e *Engine) reductions(n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Tr
 		return rows, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rows := v.([][]int)
 	out := make([][]petri.Transition, len(rows))
@@ -318,14 +431,14 @@ func (e *Engine) reductions(n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Tr
 		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
 		out[i] = ts
 	}
-	return out, nil
+	return out, fresh, nil
 }
 
 // structuralBounds returns the P-invariant place bounds through the
 // bounds layer (canonical place order).
-func (e *Engine) structuralBounds(n *petri.Net, cf *petri.CanonicalForm) ([]int, error) {
+func (e *Engine) structuralBounds(n *petri.Net, cf *petri.CanonicalForm, tr *trace.Tracer) ([]int, error) {
 	v, err := e.cache.getOrCompute("bounds:"+cf.Hash, func() (any, error) {
-		pis, err := invariant.PInvariantsCached(n, invariant.Options{MaxRows: e.cfg.Core.MaxRows}, semiflowCache{e.cache})
+		pis, err := invariant.PInvariantsCached(n, invariant.Options{MaxRows: e.cfg.Core.MaxRows, Trace: tr}, semiflowCache{e.cache})
 		if err != nil {
 			return nil, err
 		}
@@ -349,9 +462,26 @@ func (e *Engine) structuralBounds(n *petri.Net, cf *petri.CanonicalForm) ([]int,
 
 // ---- analysis --------------------------------------------------------
 
-func (e *Engine) analyze(n *petri.Net) *NetReport {
+// analyze runs one job under a fresh per-job tracer and returns the
+// deterministic report plus the job's phase breakdown. The tracer is
+// folded into the engine-lifetime aggregate before returning.
+func (e *Engine) analyze(n *petri.Net) (*NetReport, *trace.Report) {
+	tr := trace.New()
+	rep := e.analyzeTraced(n, tr)
+	e.tracer.Merge(tr)
+	return rep, tr.Report()
+}
+
+// analyzeTraced is the analysis body. The top-level spans below are
+// sequential and cover every statement between the first and the last, so
+// their totals account for the job's wall time (the qssd report checks
+// that sum against elapsed time per net).
+func (e *Engine) analyzeTraced(n *petri.Net, tr *trace.Tracer) *NetReport {
 	e.counters.Jobs.Add(1)
+	sp := tr.Start("petri/canonical")
 	cf := n.CanonicalForm()
+	sp.End()
+	sp = tr.Start("petri/classify")
 	rep := &NetReport{
 		Name:        n.Name(),
 		Hash:        cf.Hash,
@@ -364,11 +494,13 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 		Sinks:       names(n, n.SinkTransitions()),
 		FreeChoices: len(n.FreeChoiceSets()),
 	}
+	sp.End()
 	fail := func(stage string, err error) {
 		rep.Errors = append(rep.Errors, stage+": "+err.Error())
 	}
 
-	iopt := invariant.Options{MaxRows: e.cfg.Core.MaxRows}
+	iopt := invariant.Options{MaxRows: e.cfg.Core.MaxRows, Trace: tr}
+	sp = tr.Start("invariant/tsemiflows")
 	tis, err := invariant.TInvariantsCached(n, iopt, semiflowCache{e.cache})
 	if err != nil {
 		fail("t-semiflows", err)
@@ -376,6 +508,8 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 		rep.TSemiflows = len(tis)
 		rep.Consistent = invariant.Consistent(n, tis)
 	}
+	sp.End()
+	sp = tr.Start("invariant/psemiflows")
 	pis, err := invariant.PInvariantsCached(n, iopt, semiflowCache{e.cache})
 	if err != nil {
 		fail("p-semiflows", err)
@@ -383,7 +517,9 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 		rep.PSemiflows = len(pis)
 		rep.Conservative = invariant.Conservative(n, pis)
 	}
-	if bounds, err := e.structuralBounds(n, cf); err != nil {
+	sp.End()
+	sp = tr.Start("invariant/bounds")
+	if bounds, err := e.structuralBounds(n, cf, tr); err != nil {
 		fail("structural-bounds", err)
 	} else {
 		for p, b := range bounds {
@@ -395,6 +531,7 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 			}
 		}
 	}
+	sp.End()
 
 	if !rep.FreeChoice || n.Validate() != nil {
 		if err := n.Validate(); err != nil {
@@ -403,15 +540,20 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 		return rep
 	}
 
-	if reds, err := e.reductions(n, cf); err != nil {
+	sp = tr.Start("core/reduce")
+	rows, fresh, err := e.reductions(n, cf)
+	if err != nil {
 		fail("reductions", err)
 	} else {
-		for _, ts := range reds {
+		for _, ts := range rows {
 			rep.Reductions = append(rep.Reductions, n.SequenceNames(ts))
 		}
 	}
+	sp.End()
 
-	sched, err := e.schedule(n, cf)
+	sp = tr.Start("core/solve")
+	sched, err := e.schedule(n, cf, fresh, tr)
+	sp.End()
 	if err != nil {
 		rep.ScheduleError = err.Error()
 		return rep
@@ -419,6 +561,7 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 	rep.Schedulable = true
 	rep.Allocations = sched.AllocationCount
 	rep.Schedule = sched.Export()
+	sp = tr.Start("core/bounds")
 	if bounds, err := sched.BufferBounds(); err != nil {
 		fail("buffer-bounds", err)
 	} else {
@@ -427,8 +570,10 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 			rep.BufferBounds[n.PlaceName(petri.Place(p))] = b
 		}
 	}
+	sp.End()
 
-	tp, err := core.PartitionTasks(n, e.coreOpts())
+	sp = tr.Start("core/tasks")
+	tp, err := core.PartitionTasks(n, e.coreOpts(tr))
 	if err != nil {
 		fail("tasks", err)
 	} else {
@@ -440,6 +585,7 @@ func (e *Engine) analyze(n *petri.Net) *NetReport {
 			})
 		}
 	}
+	sp.End()
 	return rep
 }
 

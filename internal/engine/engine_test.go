@@ -2,6 +2,8 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
+	"maps"
 	"runtime"
 	"sort"
 	"testing"
@@ -9,6 +11,7 @@ import (
 	"fcpn/internal/figures"
 	"fcpn/internal/netgen"
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
 
 // corpus returns the determinism test set: every figure net plus a 50-net
@@ -39,11 +42,21 @@ func reportJSON(t *testing.T, rep *NetReport) string {
 	return string(b)
 }
 
+// analyze runs e.Analyze and fails the test on error.
+func analyze(t *testing.T, e *Engine, n *petri.Net) *NetReport {
+	t.Helper()
+	rep, err := e.Analyze(n)
+	if err != nil {
+		t.Fatalf("net %q: analyze: %v", n.Name(), err)
+	}
+	return rep
+}
+
 // outcome is the full byte-comparable engine result for one net: the
 // report plus, when schedulable, the generated C.
 func outcome(t *testing.T, e *Engine, n *petri.Net) string {
 	t.Helper()
-	rep := e.Analyze(n)
+	rep := analyze(t, e, n)
 	s := reportJSON(t, rep)
 	if rep.Schedulable {
 		syn, err := e.Synthesize(n)
@@ -56,8 +69,11 @@ func outcome(t *testing.T, e *Engine, n *petri.Net) string {
 }
 
 // wideWorkers is the pool size for the "parallel" side of determinism
-// tests: NumCPU, but never fewer than 4 so single-core machines still
-// exercise real goroutine interleaving.
+// tests: max(NumCPU, 4). On hosts with fewer than four CPUs this
+// oversubscribes the pool on purpose — four workers time-slicing one or
+// two CPUs interleave goroutines far more aggressively than a
+// one-worker pool ever would, which is exactly the scheduling pressure
+// the determinism tests need.
 func wideWorkers() int {
 	if n := runtime.NumCPU(); n > 4 {
 		return n
@@ -108,7 +124,10 @@ func TestEngineBatchOrderAndConcurrency(t *testing.T) {
 	for i := range nets {
 		nets[i] = n
 	}
-	results := e.AnalyzeBatch(nets)
+	results, err := e.AnalyzeBatch(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(nets) {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -137,9 +156,9 @@ func TestEngineSharesAcrossRenamedNets(t *testing.T) {
 	}
 	e := New(Config{Workers: 1})
 	defer e.Close()
-	a := e.Analyze(build("a_"))
+	a := analyze(t, e, build("a_"))
 	hitsBefore := e.Stats().CacheHits
-	bb := e.Analyze(build("b_"))
+	bb := analyze(t, e, build("b_"))
 	if e.Stats().CacheHits <= hitsBefore {
 		t.Error("renamed twin did not hit the cache")
 	}
@@ -174,12 +193,100 @@ func TestEngineUnschedulableDiagnostics(t *testing.T) {
 	e := New(Config{Workers: 2})
 	defer e.Close()
 	for i := 0; i < 2; i++ {
-		rep := e.Analyze(figures.Figure3b())
+		rep := analyze(t, e, figures.Figure3b())
 		if rep.Schedulable || rep.ScheduleError == "" {
 			t.Fatalf("figure3b must be diagnosed unschedulable: %+v", rep)
 		}
 		if _, err := e.Synthesize(figures.Figure3b()); err == nil {
 			t.Fatal("synthesize must fail on figure3b")
+		}
+	}
+}
+
+// TestEngineClosedError checks every submission path after Close fails
+// fast with the typed ErrEngineClosed instead of panicking on the closed
+// job channel.
+func TestEngineClosedError(t *testing.T) {
+	e := New(Config{Workers: 2})
+	e.Close()
+	n := figures.Figure5()
+	if _, err := e.Analyze(n); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Analyze after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.AnalyzeBatch([]*petri.Net{n, n}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("AnalyzeBatch after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Synthesize(n); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Synthesize after Close: err = %v, want ErrEngineClosed", err)
+	}
+	e.Close() // second Close must stay a no-op
+}
+
+// phaseCounts projects a trace report onto its deterministic part: the
+// number of times each phase ran. Durations are wall-clock noise; counts
+// are a function of the net alone and must not depend on the worker-pool
+// size.
+func phaseCounts(rep *trace.Report) map[string]int64 {
+	counts := make(map[string]int64)
+	if rep == nil {
+		return counts
+	}
+	for _, p := range rep.Phases {
+		counts[p.Name] = p.Count
+	}
+	return counts
+}
+
+// TestTraceWorkerCountIndependence checks the per-job phase trace is
+// structurally identical — same phases, same per-phase counts — between a
+// one-worker and a four-worker cold analysis of the same corpus. Only
+// durations may differ.
+func TestTraceWorkerCountIndependence(t *testing.T) {
+	nets := corpus()[:8]
+	serial := New(Config{Workers: 1})
+	defer serial.Close()
+	wide := New(Config{Workers: 4})
+	defer wide.Close()
+
+	srs, err := serial.AnalyzeBatch(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrs, err := wide.AnalyzeBatch(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nets {
+		sc, wc := phaseCounts(srs[i].Trace), phaseCounts(wrs[i].Trace)
+		if len(sc) == 0 {
+			t.Fatalf("net %q: empty serial trace", n.Name())
+		}
+		if !maps.Equal(sc, wc) {
+			t.Errorf("net %q: phase counts depend on worker count:\nworkers=1: %v\nworkers=4: %v",
+				n.Name(), sc, wc)
+		}
+	}
+}
+
+// TestTraceCoversElapsed checks the acceptance property behind the qssd
+// trace block: for a cold analysis, the non-detail phases partition the
+// job and their summed duration does not exceed the job's elapsed wall
+// time (spans nest inside the measured window).
+func TestTraceCoversElapsed(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	results, err := e.AnalyzeBatch(corpus()[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Trace == nil {
+			t.Fatalf("result %d: nil trace", i)
+		}
+		top := r.Trace.TopTotalMS()
+		elapsed := float64(r.Elapsed.Nanoseconds()) / 1e6
+		if top > elapsed*1.02+0.05 {
+			t.Errorf("result %d: top-level phases sum to %.3f ms, beyond elapsed %.3f ms", i, top, elapsed)
 		}
 	}
 }

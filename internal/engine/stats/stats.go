@@ -5,7 +5,11 @@
 // engine throughput and cache effectiveness without a metrics dependency.
 package stats
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"fcpn/internal/trace"
+)
 
 // Counters is the live, goroutine-safe counter set. The zero value is
 // ready to use.
@@ -39,6 +43,10 @@ type Snapshot struct {
 	// Utilization is cumulative worker busy time divided by
 	// workers × wall time, in [0, 1] modulo sampling skew.
 	Utilization float64 `json:"utilization"`
+	// Trace is the engine-lifetime per-phase aggregate across every job,
+	// including per-layer cache counters. Filled by engine.Stats; nil
+	// when tracing never ran.
+	Trace *trace.Report `json:"trace,omitempty"`
 }
 
 // Snapshot captures the counters. workers is the pool size and wallNanos

@@ -17,6 +17,7 @@ import (
 
 	"fcpn/internal/linalg"
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
 
 // ErrTooComplex is returned when the Farkas enumeration exceeds its row cap.
@@ -89,6 +90,9 @@ func (pi PInvariant) String() string { return fmt.Sprint(pi.Weights) }
 type Options struct {
 	// MaxRows caps intermediate Farkas rows; 0 means the package default.
 	MaxRows int
+	// Trace optionally records one "invariant/farkas" detail span per
+	// Farkas enumeration. Nil disables collection.
+	Trace *trace.Tracer
 }
 
 // TInvariants returns all minimal-support T-semiflows of the net, sorted by
@@ -102,7 +106,9 @@ func TInvariants(n *petri.Net, opt Options) ([]TInvariant, error) {
 			a.Data[p][t].SetInt64(int64(d[t][p]))
 		}
 	}
+	sp := opt.Trace.StartDetail("invariant/farkas")
 	vecs, ok := linalg.MinimalSemiflows(a, opt.MaxRows)
+	sp.End()
 	if !ok {
 		return nil, ErrTooComplex
 	}
@@ -129,7 +135,9 @@ func PInvariants(n *petri.Net, opt Options) ([]PInvariant, error) {
 			a.Data[t][p].SetInt64(int64(d[t][p]))
 		}
 	}
+	sp := opt.Trace.StartDetail("invariant/farkas")
 	vecs, ok := linalg.MinimalSemiflows(a, opt.MaxRows)
+	sp.End()
 	if !ok {
 		return nil, ErrTooComplex
 	}

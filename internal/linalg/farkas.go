@@ -21,10 +21,29 @@ import "math/big"
 //
 // maxRows caps the intermediate row count; when exceeded the function
 // returns nil and false. Pass 0 for the default cap (100000).
+//
+// Arithmetic runs on an overflow-checked int64 fast path
+// (minimalSemiflowsInt, farkas_int.go) whenever every intermediate stays
+// small, falling back to this exact big.Int implementation otherwise.
+// Phase traces showed the big.Int path spending roughly half its cycles
+// in allocation and GC; practical nets never leave the int64 range, so
+// the fast path is the common case and the big path the safety net. Both
+// paths run the identical elimination/pruning sequence, so the output —
+// values and order — is the same whichever executes.
 func MinimalSemiflows(a *Mat, maxRows int) ([]Vec, bool) {
 	if maxRows <= 0 {
 		maxRows = 100000
 	}
+	if out, capped, ok := minimalSemiflowsInt(a, maxRows); ok {
+		if capped {
+			return nil, false
+		}
+		return out, true
+	}
+	return minimalSemiflowsBig(a, maxRows)
+}
+
+func minimalSemiflowsBig(a *Mat, maxRows int) ([]Vec, bool) {
 	numEq := a.Rows
 	numVar := a.Cols
 

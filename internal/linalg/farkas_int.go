@@ -1,0 +1,204 @@
+package linalg
+
+import "math/big"
+
+// intLimit bounds every intermediate entry on the int64 Farkas fast
+// path. Combination coefficients and entries are all ≤ intLimit, so a
+// combined entry is at most 2·intLimit² < 2⁶² and the arithmetic below
+// cannot wrap; any row that exceeds the limit after GCD normalisation
+// aborts the fast path instead.
+const intLimit = int64(1) << 30
+
+// minimalSemiflowsInt is the int64 fast path of MinimalSemiflows: the
+// identical Farkas elimination and support-pruning sequence as
+// minimalSemiflowsBig, on overflow-checked machine integers and with
+// right-support bitsets replacing the O(width) support scans of the
+// pruning step.
+//
+// Returns (result, capped, ok). ok=false means an input or intermediate
+// left the safe range and the caller must rerun on the big.Int path;
+// capped=true (with ok=true) is the authoritative "maxRows exceeded"
+// verdict. Because both paths perform the same combinations in the same
+// order, prune the same rows, and normalise by the same GCDs, a run that
+// stays in range returns exactly the rows — same values, same order —
+// the big path would.
+func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
+	numEq := a.Rows
+	numVar := a.Cols
+	words := (numVar + 63) / 64
+
+	type irow struct {
+		left  []int64
+		right []int64
+		mask  []uint64 // bitset over right's support
+	}
+	newMask := func(right []int64) []uint64 {
+		m := make([]uint64, words)
+		for i, v := range right {
+			if v != 0 {
+				m[i/64] |= 1 << (i % 64)
+			}
+		}
+		return m
+	}
+
+	rows := make([]irow, numVar)
+	for v := 0; v < numVar; v++ {
+		left := make([]int64, numEq)
+		for e := 0; e < numEq; e++ {
+			x := a.Data[e][v]
+			if !x.IsInt64() {
+				return nil, false, false
+			}
+			left[e] = x.Int64()
+			if left[e] > intLimit || left[e] < -intLimit {
+				return nil, false, false
+			}
+		}
+		right := make([]int64, numVar)
+		right[v] = 1
+		rows[v] = irow{left, right, newMask(right)}
+	}
+
+	// maskContains reports small's support ⊆ big's support.
+	maskContains := func(big, small []uint64) bool {
+		for i := range small {
+			if small[i]&^big[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	prune := func(rs []irow) []irow {
+		var keep []irow
+		for i := range rs {
+			minimal := true
+			for j := range rs {
+				if i == j {
+					continue
+				}
+				if maskContains(rs[i].mask, rs[j].mask) {
+					if !maskContains(rs[j].mask, rs[i].mask) {
+						minimal = false // strictly smaller support exists
+						break
+					}
+					if j < i { // equal support: keep the first
+						minimal = false
+						break
+					}
+				}
+			}
+			if minimal {
+				keep = append(keep, rs[i])
+			}
+		}
+		return keep
+	}
+
+	for e := 0; e < numEq; e++ {
+		var zero, pos, neg []irow
+		for _, r := range rows {
+			switch {
+			case r.left[e] == 0:
+				zero = append(zero, r)
+			case r.left[e] > 0:
+				pos = append(pos, r)
+			default:
+				neg = append(neg, r)
+			}
+		}
+		next := zero
+		for _, rp := range pos {
+			for _, rn := range neg {
+				cp := rn.left[e]
+				if cp < 0 {
+					cp = -cp
+				}
+				cn := rp.left[e]
+				if cn < 0 {
+					cn = -cn
+				}
+				left := make([]int64, numEq)
+				for i := range left {
+					left[i] = cp*rp.left[i] + cn*rn.left[i]
+				}
+				right := make([]int64, numVar)
+				for i := range right {
+					right[i] = cp*rp.right[i] + cn*rn.right[i]
+				}
+				var g int64
+				for _, x := range left {
+					g = gcd64(g, x)
+				}
+				for _, x := range right {
+					g = gcd64(g, x)
+				}
+				if g > 1 {
+					for i := range left {
+						left[i] /= g
+					}
+					for i := range right {
+						right[i] /= g
+					}
+				}
+				for _, x := range left {
+					if x > intLimit || x < -intLimit {
+						return nil, false, false
+					}
+				}
+				for _, x := range right {
+					if x > intLimit || x < -intLimit {
+						return nil, false, false
+					}
+				}
+				next = append(next, irow{left, right, newMask(right)})
+				if len(next) > maxRows {
+					return nil, true, true
+				}
+			}
+		}
+		rows = prune(next)
+		if len(rows) > maxRows {
+			return nil, true, true
+		}
+	}
+
+	out = make([]Vec, 0, len(rows))
+	for _, r := range rows {
+		var g int64
+		allZero := true
+		for _, x := range r.right {
+			if x != 0 {
+				allZero = false
+			}
+			g = gcd64(g, x)
+		}
+		if allZero {
+			continue
+		}
+		if g > 1 {
+			for i := range r.right {
+				r.right[i] /= g
+			}
+		}
+		v := make(Vec, numVar)
+		for i, x := range r.right {
+			v[i] = big.NewInt(x)
+		}
+		out = append(out, v)
+	}
+	return out, false, true
+}
+
+// gcd64 folds |x| into the running non-negative GCD g (g=0 is the
+// identity, matching big.Int.GCD's treatment of the first operand).
+func gcd64(g, x int64) int64 {
+	if x < 0 {
+		x = -x
+	}
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return g
+}

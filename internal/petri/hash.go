@@ -39,10 +39,18 @@ type CanonicalForm struct {
 // CanonicalHash is CanonicalForm().Hash.
 func (n *Net) CanonicalHash() string { return n.CanonicalForm().Hash }
 
-// CanonicalForm computes the canonical relabelling. Cost is
+// CanonicalForm returns the canonical relabelling, computing it on first
+// use and memoising it for the net's lifetime (nets are immutable, and
+// phase traces showed the relabelling being recomputed for every cache
+// lookup — several times per analysis). Cost of the one computation is
 // O(rounds × arcs × log) with rounds bounded by the number of nodes;
 // refinement stops as soon as the colour partition is stable.
 func (n *Net) CanonicalForm() *CanonicalForm {
+	n.canonOnce.Do(func() { n.canon = n.computeCanonicalForm() })
+	return n.canon
+}
+
+func (n *Net) computeCanonicalForm() *CanonicalForm {
 	nP, nT := n.NumPlaces(), n.NumTransitions()
 	pCol := make([]int, nP)
 	tCol := make([]int, nT)

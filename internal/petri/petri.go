@@ -14,6 +14,7 @@ package petri
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeKind distinguishes the two vertex classes of the bipartite net graph.
@@ -69,6 +70,12 @@ type Net struct {
 	placeIn     [][]TArc   // placeIn[p]: producing transitions of p
 	placeOut    [][]TArc   // placeOut[p]: consuming transitions of p
 	initialMark Marking
+
+	// canonOnce/canon memoise CanonicalForm: the net is immutable, so
+	// the canonical relabelling is computed at most once per Net and
+	// shared across goroutines (see hash.go).
+	canonOnce sync.Once
+	canon     *CanonicalForm
 }
 
 // ArcRef is a weighted reference from a transition to a place.

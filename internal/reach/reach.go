@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
 
 // ErrStateSpaceExceeded is returned when exploration hits the state cap.
@@ -20,6 +21,9 @@ type Options struct {
 	// MaxStates caps the number of distinct markings explored; 0 means the
 	// package default of 100000.
 	MaxStates int
+	// Trace optionally records one "reach/graph" detail span per explicit
+	// state-space exploration. Nil disables collection.
+	Trace *trace.Tracer
 }
 
 func (o Options) maxStates() int {
@@ -62,6 +66,7 @@ func (g *Graph) DeadlockStates() []int {
 // It fails with ErrStateSpaceExceeded when the net is unbounded or simply
 // too large for the cap; use Boundedness to distinguish the two.
 func BuildGraph(n *petri.Net, m0 petri.Marking, opt Options) (*Graph, error) {
+	defer opt.Trace.StartDetail("reach/graph").End()
 	max := opt.maxStates()
 	g := &Graph{}
 	index := map[string]int{}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	s.End()
+	tr.StartDetail("y").End()
+	tr.Add("c", 3)
+	tr.Observe("z", time.Second, false)
+	tr.Merge(New())
+	if rep := tr.Report(); rep != nil {
+		t.Fatalf("nil tracer reported %+v", rep)
+	}
+	if got := tr.Report().TopTotalMS(); got != 0 {
+		t.Fatalf("nil report TopTotalMS = %v", got)
+	}
+}
+
+func TestSpanAggregation(t *testing.T) {
+	tr := New()
+	tr.Observe("solve", 2*time.Millisecond, false)
+	tr.Observe("solve", 40*time.Microsecond, false)
+	tr.Observe("check", 500*time.Microsecond, true)
+	tr.Add("cache/sched/hit", 2)
+	tr.Add("cache/sched/hit", 1)
+
+	rep := tr.Report()
+	ps, ok := rep.Phase("solve")
+	if !ok {
+		t.Fatal("missing solve phase")
+	}
+	if ps.Count != 2 || ps.Detail {
+		t.Fatalf("solve stat = %+v", ps)
+	}
+	if ps.MinMS != 0.04 || ps.MaxMS != 2.0 || ps.TotalMS != 2.04 {
+		t.Fatalf("solve durations = %+v", ps)
+	}
+	// 40µs → bucket 0 (<100us), 2ms → bucket 2 (<10ms).
+	if ps.Buckets != [NumBuckets]int64{1, 0, 1, 0, 0, 0} {
+		t.Fatalf("solve buckets = %v", ps.Buckets)
+	}
+	if cs, _ := rep.Phase("check"); !cs.Detail || cs.Count != 1 {
+		t.Fatalf("check stat = %+v", cs)
+	}
+	if rep.Counters["cache/sched/hit"] != 3 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+	// Wall-time account excludes detail phases.
+	if got := rep.TopTotalMS(); got != 2.04 {
+		t.Fatalf("TopTotalMS = %v", got)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{99 * time.Microsecond, 0},
+		{100 * time.Microsecond, 1},
+		{time.Millisecond, 2},
+		{9 * time.Millisecond, 2},
+		{10 * time.Millisecond, 3},
+		{99 * time.Millisecond, 3},
+		{100 * time.Millisecond, 4},
+		{time.Second, 5},
+		{time.Hour, 5},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSpanEndRecords(t *testing.T) {
+	tr := New()
+	s := tr.Start("p")
+	time.Sleep(time.Millisecond)
+	s.End()
+	ps, ok := tr.Report().Phase("p")
+	if !ok || ps.Count != 1 {
+		t.Fatalf("stat = %+v ok=%v", ps, ok)
+	}
+	if ps.TotalMS < 0.5 {
+		t.Fatalf("span did not measure elapsed time: %+v", ps)
+	}
+	// Zero Span (from a nil tracer) must be inert.
+	var zero Span
+	zero.End()
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Observe("farkas", time.Millisecond, true)
+	a.Add("rows", 10)
+	b.Observe("farkas", 3*time.Millisecond, true)
+	b.Observe("solve", 2*time.Millisecond, false)
+	b.Add("rows", 5)
+
+	a.Merge(b)
+	a.Merge(nil) // no-op
+
+	rep := a.Report()
+	fs, _ := rep.Phase("farkas")
+	if fs.Count != 2 || fs.TotalMS != 4.0 || fs.MinMS != 1.0 || fs.MaxMS != 3.0 {
+		t.Fatalf("merged farkas = %+v", fs)
+	}
+	if ss, ok := rep.Phase("solve"); !ok || ss.Count != 1 {
+		t.Fatalf("merged solve = %+v", ss)
+	}
+	if rep.Counters["rows"] != 15 {
+		t.Fatalf("merged counters = %v", rep.Counters)
+	}
+}
+
+// TestMergeIntoEmptyKeepsMin guards the min-widening rule: merging into a
+// fresh tracer must adopt the source min, not stay at zero.
+func TestMergeIntoEmptyKeepsMin(t *testing.T) {
+	src := New()
+	src.Observe("p", 5*time.Millisecond, false)
+	dst := New()
+	dst.Merge(src)
+	ps, _ := dst.Report().Phase("p")
+	if ps.MinMS != 5.0 {
+		t.Fatalf("merged min = %v, want 5", ps.MinMS)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.StartDetail("check").End()
+				tr.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	ps, _ := tr.Report().Phase("check")
+	if ps.Count != 1600 || tr.Report().Counters["n"] != 1600 {
+		t.Fatalf("lost updates: %+v", ps)
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	tr := New()
+	tr.Observe("solve", time.Millisecond, false)
+	b, err := json.Marshal(tr.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Phases []struct {
+			Phase   string  `json:"phase"`
+			Count   int64   `json:"count"`
+			TotalMS float64 `json:"total_ms"`
+			Buckets []int64 `json:"buckets"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Phases) != 1 || decoded.Phases[0].Phase != "solve" ||
+		len(decoded.Phases[0].Buckets) != NumBuckets {
+		t.Fatalf("JSON shape: %s", b)
+	}
+}
+
+func TestReportSortedByName(t *testing.T) {
+	tr := New()
+	for _, n := range []string{"z", "a", "m"} {
+		tr.Observe(n, time.Microsecond, false)
+	}
+	rep := tr.Report()
+	for i := 1; i < len(rep.Phases); i++ {
+		if rep.Phases[i-1].Name > rep.Phases[i].Name {
+			t.Fatalf("phases not sorted: %v", rep.Phases)
+		}
+	}
+}
