@@ -19,9 +19,12 @@ bench:
 # a generated 50-net corpus, one cold pass and two warm passes through one
 # engine, with a serial rerun of the cold pass for the speedup ratio.
 # Writes BENCH_engine.json (cold and warm throughput are reported
-# separately; see docs/TRACING.md).
+# separately; see docs/TRACING.md) and the per-job checkpoint journal
+# BENCH_journal.jsonl (crash-safe resume evidence; CI uploads both).
 bench-json:
+	rm -f BENCH_journal.jsonl
 	go run ./cmd/qssd -gen 50 -repeat 3 -workers 4 -compare-serial \
+		-journal BENCH_journal.jsonl \
 		-o BENCH_engine.json examples/nets/*.pn
 	@grep -E '"(cold_nets_per_sec|warm_nets_per_sec|hit_rate|speedup|gomaxprocs)"' BENCH_engine.json
 
@@ -58,4 +61,4 @@ atmbench:
 	go run ./cmd/atmbench
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt BENCH_engine.json
+	rm -f cover.out test_output.txt bench_output.txt BENCH_engine.json BENCH_journal.jsonl

@@ -24,6 +24,7 @@ import (
 	"fcpn/internal/safenet"
 	"fcpn/internal/sdf"
 	"fcpn/internal/sim"
+	"fcpn/internal/trace"
 )
 
 // BenchmarkFigure1Classify reproduces Figure 1: the structural free-choice
@@ -232,15 +233,21 @@ func BenchmarkAblationReductionDedup(b *testing.B) {
 			name = "nodedup"
 		}
 		b.Run(name, func(b *testing.B) {
+			tr := trace.New()
 			var cycles int
 			for i := 0; i < b.N; i++ {
-				s, err := core.Solve(m.Net, core.Options{KeepDuplicateReductions: !dedup})
+				s, err := core.Solve(m.Net, core.Options{KeepDuplicateReductions: !dedup, Trace: tr})
 				if err != nil {
 					b.Fatal(err)
 				}
 				cycles = len(s.Cycles)
 			}
 			b.ReportMetric(float64(cycles), "cycles-in-schedule")
+			// The per-phase trace shows where dedup saves the time: the
+			// number of per-reduction schedulability checks per solve.
+			if p, ok := tr.Report().Phase("core/check"); ok {
+				b.ReportMetric(float64(p.Count)/float64(b.N), "checks/solve")
+			}
 		})
 	}
 }
@@ -296,16 +303,26 @@ func BenchmarkAblationCycleSearch(b *testing.B) {
 // conclusion proposes to explore.
 func BenchmarkAblationScheduleExplore(b *testing.B) {
 	m := atm.New()
+	tr := trace.New()
 	var pts []core.TradeoffPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = core.Explore(m.Net, core.Options{})
+		pts, err = core.Explore(m.Net, core.Options{Trace: tr})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	for _, pt := range pts {
 		b.ReportMetric(float64(pt.TotalBufferBound), pt.Strategy.String()+"-buffers")
+	}
+	// Split the exploration's cost between the strategy loop and the
+	// per-strategy cycle realisations it nests.
+	rep := tr.Report()
+	if p, ok := rep.Phase("core/explore"); ok && b.N > 0 {
+		b.ReportMetric(p.TotalMS/float64(b.N), "explore-ms/op")
+	}
+	if p, ok := rep.Phase("core/cycle"); ok && b.N > 0 {
+		b.ReportMetric(float64(p.Count)/float64(b.N), "cycle-searches/op")
 	}
 }
 

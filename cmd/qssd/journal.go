@@ -1,0 +1,121 @@
+package main
+
+// Crash-safe checkpoint journal for qssd: one JSON line per completed
+// job, appended as the engine's AnalyzeEach callback fires (the engine
+// serialises the callback, so the writer needs no locking). A killed run
+// leaves at worst one torn final line; -resume reads the journal back,
+// tolerates that torn line, skips every net whose canonical hash already
+// completed "ok", and re-seeds the engine's quarantine from journalled
+// panics so a poisoned net is not re-run either.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+
+	"fcpn/internal/engine"
+)
+
+// statusSkippedResume is the qssd-level status of a net whose report was
+// rehydrated from the journal instead of re-analysed. It extends the
+// engine's JobStatus vocabulary in reports only.
+const statusSkippedResume = "skipped-resume"
+
+// journalEntry is one journal line, keyed by the net's canonical hash —
+// the same key the engine's cache and quarantine use, so a renamed but
+// structurally identical net still resumes.
+type journalEntry struct {
+	Hash      string            `json:"hash"`
+	Source    string            `json:"source"`
+	Status    string            `json:"status"`
+	Error     string            `json:"error,omitempty"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Report    *engine.NetReport `json:"report,omitempty"`
+}
+
+// journalWriter appends entries to the journal file. Writes go straight
+// to the file descriptor (no userspace buffering), so a completed record
+// survives a process kill; only a write torn mid-line is lost, and the
+// reader tolerates that.
+type journalWriter struct {
+	f   *os.File
+	err error
+}
+
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// A kill mid-write can leave the file without a final newline. New
+	// entries must not concatenate onto that torn line — terminate it so
+	// the torn fragment stays an isolated, skippable line.
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return &journalWriter{f: f}, nil
+}
+
+// record appends one entry. The first write error sticks and is reported
+// by Close, so the analysis loop never aborts mid-batch over a full disk.
+func (w *journalWriter) record(ent journalEntry) {
+	if w == nil || w.err != nil {
+		return
+	}
+	b, err := json.Marshal(ent)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.f.Write(append(b, '\n')); err != nil {
+		w.err = err
+	}
+}
+
+// Close closes the file and reports the first error seen.
+func (w *journalWriter) Close() error {
+	if w == nil {
+		return nil
+	}
+	cerr := w.f.Close()
+	if w.err != nil {
+		return w.err
+	}
+	return cerr
+}
+
+// readJournal loads a journal into a hash-keyed map. Later entries win
+// (a resumed run re-journals the nets it re-analyses). Unparsable lines
+// are skipped: the journal is append-only, so the only malformed line a
+// crash can produce is a torn final one.
+func readJournal(path string) (map[string]journalEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]journalEntry{}
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var ent journalEntry
+			if jerr := json.Unmarshal(line, &ent); jerr == nil && ent.Hash != "" {
+				out[ent.Hash] = ent
+			}
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fcpn/internal/engine"
+	"fcpn/internal/netgen"
+)
+
+// genHash is the canonical hash of the net `-gen` builds for a seed.
+func genHash(seed uint64) string {
+	return netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig()).CanonicalHash()
+}
+
+func TestQssdJournalWritesEveryJob(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	rep := runJSON(t, "-gen", "5", "-gen-seed", "20", "-journal", journal)
+	if rep.StatusCounts["ok"] != 5 {
+		t.Fatalf("status counts: %+v", rep.StatusCounts)
+	}
+	entries, err := readJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("journal has %d entries, want 5", len(entries))
+	}
+	for seed := uint64(20); seed < 25; seed++ {
+		ent, ok := entries[genHash(seed)]
+		if !ok {
+			t.Fatalf("journal missing entry for seed %d", seed)
+		}
+		if ent.Status != "ok" || ent.Report == nil || !ent.Report.Schedulable {
+			t.Fatalf("bad journal entry for seed %d: %+v", seed, ent)
+		}
+	}
+}
+
+// TestQssdResumeSkipsCompleted simulates a crash after part of the
+// corpus: a first run journals 3 of 6 nets, the resumed run must
+// re-analyse exactly the other 3 and rehydrate the journalled reports
+// byte-identically.
+func TestQssdResumeSkipsCompleted(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	first := runJSON(t, "-gen", "3", "-gen-seed", "30", "-journal", journal)
+	if first.StatusCounts["ok"] != 3 {
+		t.Fatalf("first run: %+v", first.StatusCounts)
+	}
+
+	// Simulate the kill having torn the final line mid-write: the reader
+	// must shrug it off.
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"hash":"torn-entr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep := runJSON(t, "-gen", "6", "-gen-seed", "30", "-journal", journal, "-resume")
+	if rep.StatusCounts[statusSkippedResume] != 3 || rep.StatusCounts["ok"] != 3 {
+		t.Fatalf("resumed run: %+v", rep.StatusCounts)
+	}
+	if rep.Jobs != 3 {
+		t.Errorf("resumed run submitted %d jobs, want 3", rep.Jobs)
+	}
+	byHash := map[string]netResult{}
+	for _, r := range rep.Results {
+		byHash[r.Report.Hash] = r
+	}
+	for seed := uint64(30); seed < 36; seed++ {
+		r, ok := byHash[genHash(seed)]
+		if !ok {
+			t.Fatalf("resumed report missing seed %d", seed)
+		}
+		wantStatus := "ok"
+		if seed < 33 {
+			wantStatus = statusSkippedResume
+		}
+		if r.Status != wantStatus {
+			t.Errorf("seed %d: status %q, want %q", seed, r.Status, wantStatus)
+		}
+		if r.Report == nil || !r.Report.Schedulable {
+			t.Errorf("seed %d: missing/bad rehydrated report", seed)
+		}
+	}
+
+	// Rehydrated reports must match what a fresh analysis produces.
+	fresh := runJSON(t, "-gen", "1", "-gen-seed", "30")
+	a, _ := json.Marshal(fresh.Results[0].Report)
+	b, _ := json.Marshal(byHash[genHash(30)].Report)
+	if !bytes.Equal(a, b) {
+		t.Errorf("rehydrated report differs from fresh analysis:\n%s\nvs\n%s", b, a)
+	}
+
+	// After the resumed run the journal covers the whole corpus: a second
+	// resume re-analyses nothing.
+	again := runJSON(t, "-gen", "6", "-gen-seed", "30", "-journal", journal, "-resume")
+	if again.StatusCounts[statusSkippedResume] != 6 || again.Jobs != 0 {
+		t.Fatalf("second resume: %+v jobs=%d", again.StatusCounts, again.Jobs)
+	}
+}
+
+// TestQssdResumeQuarantinesJournalledPanics checks a net journalled as
+// panicked is refused on resume (quarantined), not re-run.
+func TestQssdResumeQuarantinesJournalledPanics(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	ent, err := json.Marshal(journalEntry{
+		Hash:   genHash(40),
+		Source: "gen:40",
+		Status: string(engine.StatusPanicked),
+		Error:  "engine: job panicked: synthetic for test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, append(ent, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runJSON(t, "-gen", "2", "-gen-seed", "40", "-journal", journal, "-resume")
+	if rep.StatusCounts[string(engine.StatusQuarantined)] != 1 || rep.StatusCounts["ok"] != 1 {
+		t.Fatalf("status counts: %+v", rep.StatusCounts)
+	}
+	for _, r := range rep.Results {
+		if r.Source == "gen:40" {
+			if r.Status != string(engine.StatusQuarantined) || r.Error == "" {
+				t.Fatalf("journalled panic net: %+v", r)
+			}
+		}
+	}
+	// The quarantine refusal is itself journalled, so the next resume
+	// still refuses it.
+	entries, err := readJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entries[genHash(40)].Status; got != string(engine.StatusQuarantined) {
+		t.Fatalf("journal now records %q for the poisoned net", got)
+	}
+}
+
+func TestQssdResumeRequiresJournal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-resume", "-gen", "1"}, &buf); err == nil {
+		t.Fatal("-resume without -journal must error")
+	}
+}

@@ -9,10 +9,19 @@
 //
 //	qssd [-manifest list.txt] [-gen N] [-gen-seed S] [-workers W]
 //	     [-repeat R] [-compare-serial] [-cpuprofile f] [-trace f]
+//	     [-journal f.jsonl] [-resume] [-job-timeout d] [-submit-window W]
 //	     [-o report.json] [file.pn ...]
 //
 // A manifest is a text file with one .pn path per line ('#' comments);
 // relative paths resolve against the manifest's directory.
+//
+// Robustness flags: -job-timeout bounds each net's analysis (past it the
+// job is cancelled and reported "timeout" with its partial report);
+// -submit-window bounds how many jobs are in flight at once (the
+// engine's backpressure); -journal appends one JSON line per completed
+// job so a killed run can be picked up with -resume, which re-analyses
+// only the nets whose canonical hash has no "ok" journal entry and
+// quarantines the ones journalled as panicked.
 //
 // The corpus runs as one *cold* pass (every net analysed once against an
 // empty cache) followed by R-1 *warm* passes against the now-populated
@@ -68,6 +77,11 @@ type batchReport struct {
 	GoMaxProcs int `json:"gomaxprocs"`
 	NumCPU     int `json:"num_cpu"`
 
+	// StatusCounts tallies per-net outcomes of the cold pass: "ok",
+	// "timeout", "panicked", "quarantined", "error", plus
+	// "skipped-resume" for nets rehydrated from a -resume journal.
+	StatusCounts map[string]int `json:"status_counts"`
+
 	// Cold pass: every distinct net once, empty cache.
 	ColdElapsedMS  float64 `json:"cold_elapsed_ms"`
 	ColdNetsPerSec float64 `json:"cold_nets_per_sec"`
@@ -97,6 +111,11 @@ type netResult struct {
 	ElapsedMS float64           `json:"elapsed_ms"`
 	Trace     *trace.Report     `json:"trace,omitempty"`
 	Report    *engine.NetReport `json:"report"`
+	// Status is the job outcome ("ok", "timeout", "panicked",
+	// "quarantined", "error", "skipped-resume"); Error carries the typed
+	// job error's message for every non-ok status.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
 }
 
 // run is the testable core of the command.
@@ -110,12 +129,19 @@ func run(args []string, stdout io.Writer) error {
 	compareSerial := fs.Bool("compare-serial", false, "also run the cold pass on one worker and report the speedup")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the batch to this file")
 	execTrace := fs.String("trace", "", "write a runtime/trace execution trace of the batch to this file")
+	journalPath := fs.String("journal", "", "append one JSON line per completed job to this file (crash-safe checkpoint)")
+	resume := fs.Bool("resume", false, "skip nets already journalled \"ok\" (requires -journal)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-net analysis deadline (0 = none)")
+	submitWindow := fs.Int("submit-window", 0, "max jobs in flight at once (0 = 2x workers)")
 	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *repeat < 1 {
 		*repeat = 1
+	}
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
 	}
 
 	sources, nets, err := loadCorpus(*manifest, fs.Args(), *gen, *genSeed)
@@ -124,6 +150,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if len(nets) == 0 {
 		return fmt.Errorf("empty corpus: give .pn files, -manifest, or -gen")
+	}
+
+	var prior map[string]journalEntry
+	if *resume {
+		if prior, err = readJournal(*journalPath); err != nil {
+			return fmt.Errorf("reading journal: %w", err)
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -152,17 +185,86 @@ func run(args []string, stdout io.Writer) error {
 	// One engine for every pass; the cold pass runs alone so its timings
 	// are not diluted by cache-hit jobs (and its speedup is measured
 	// against real work).
-	e := engine.New(engine.Config{Workers: *workers})
+	e := engine.New(engine.Config{
+		Workers:      *workers,
+		SubmitWindow: *submitWindow,
+		JobTimeout:   *jobTimeout,
+	})
+
+	// Split the corpus against the journal: nets journalled "ok" are
+	// rehydrated without re-analysis; journalled panics re-seed the
+	// engine's quarantine so the poisoned net is refused, not re-run.
+	final := make([]netResult, len(nets))
+	var todo []int
+	for i, n := range nets {
+		hash := n.CanonicalHash()
+		if ent, ok := prior[hash]; ok {
+			switch ent.Status {
+			case string(engine.StatusOK), statusSkippedResume:
+				final[i] = netResult{
+					Source: sources[i],
+					Status: statusSkippedResume,
+					Report: ent.Report,
+				}
+				continue
+			case string(engine.StatusPanicked), string(engine.StatusQuarantined):
+				e.Quarantine(hash, "journalled "+ent.Status+": "+ent.Error)
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	var jw *journalWriter
+	if *journalPath != "" {
+		if jw, err = openJournal(*journalPath); err != nil {
+			return err
+		}
+	}
+
+	todoNets := make([]*petri.Net, len(todo))
+	for j, i := range todo {
+		todoNets[j] = nets[i]
+	}
 	t0 := time.Now()
-	results, err := e.AnalyzeBatch(nets)
+	// The streaming form journals each job the moment it completes, so a
+	// kill mid-batch loses at most the in-flight jobs.
+	err = e.AnalyzeEach(todoNets, func(j int, r engine.Result) {
+		i := todo[j]
+		final[i] = netResult{
+			Source:    sources[i],
+			ElapsedMS: msOf(r.Elapsed),
+			Trace:     r.Trace,
+			Report:    r.Report,
+			Status:    string(r.Status),
+		}
+		if r.Err != nil {
+			final[i].Error = r.Err.Error()
+		}
+		jw.record(journalEntry{
+			Hash:      r.Report.Hash,
+			Source:    sources[i],
+			Status:    string(r.Status),
+			Error:     final[i].Error,
+			ElapsedMS: msOf(r.Elapsed),
+			Report:    r.Report,
+		})
+	})
 	if err != nil {
 		return err
 	}
 	cold := time.Since(t0)
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			return fmt.Errorf("writing journal: %w", err)
+		}
+	}
+	// Warm passes rerun only the nets analysed this run (resumed nets
+	// have no cache entries to hit) and are not journalled: the journal
+	// records corpus completion, not throughput probes.
 	var warm time.Duration
 	for r := 1; r < *repeat; r++ {
 		tw := time.Now()
-		if _, err := e.AnalyzeBatch(nets); err != nil {
+		if _, err := e.AnalyzeBatch(todoNets); err != nil {
 			return err
 		}
 		warm += time.Since(tw)
@@ -171,34 +273,33 @@ func run(args []string, stdout io.Writer) error {
 	e.Close()
 
 	rep := batchReport{
-		Workers:        e.Workers(),
-		Repeat:         *repeat,
-		Nets:           len(nets),
-		Jobs:           len(nets) * *repeat,
-		GoMaxProcs:     runtime.GOMAXPROCS(0),
-		NumCPU:         runtime.NumCPU(),
-		ColdElapsedMS:  msOf(cold),
-		ColdNetsPerSec: float64(len(nets)) / cold.Seconds(),
-		ElapsedMS:      msOf(cold + warm),
-		Stats:          snap,
+		Workers:       e.Workers(),
+		Repeat:        *repeat,
+		Nets:          len(nets),
+		Jobs:          len(todo) * *repeat,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		StatusCounts:  map[string]int{},
+		ColdElapsedMS: msOf(cold),
+		ElapsedMS:     msOf(cold + warm),
+		Stats:         snap,
+		Results:       final,
 	}
-	if *repeat > 1 {
+	if cold > 0 {
+		rep.ColdNetsPerSec = float64(len(todo)) / cold.Seconds()
+	}
+	if *repeat > 1 && warm > 0 {
 		rep.WarmElapsedMS = msOf(warm)
-		rep.WarmNetsPerSec = float64(len(nets)*(*repeat-1)) / warm.Seconds()
+		rep.WarmNetsPerSec = float64(len(todo)*(*repeat-1)) / warm.Seconds()
 	}
-	for i := range nets {
-		rep.Results = append(rep.Results, netResult{
-			Source:    sources[i],
-			ElapsedMS: msOf(results[i].Elapsed),
-			Trace:     results[i].Trace,
-			Report:    results[i].Report,
-		})
+	for i := range final {
+		rep.StatusCounts[final[i].Status]++
 	}
 
 	if *compareSerial {
-		se := engine.New(engine.Config{Workers: 1})
+		se := engine.New(engine.Config{Workers: 1, JobTimeout: *jobTimeout})
 		t0 := time.Now()
-		if _, err := se.AnalyzeBatch(nets); err != nil {
+		if _, err := se.AnalyzeBatch(todoNets); err != nil {
 			return err
 		}
 		serial := time.Since(t0)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -115,6 +116,14 @@ func CountAllocations(n *petri.Net) int {
 //
 // maxReductions caps the result (≤ 0 means Options' allocation default).
 func EnumerateDistinctReductions(n *petri.Net, maxReductions int) ([]*Reduction, error) {
+	return EnumerateDistinctReductionsCtx(nil, n, maxReductions)
+}
+
+// EnumerateDistinctReductionsCtx is EnumerateDistinctReductions with a
+// cancellation context (nil never cancels), checked once per Reduce call
+// so a per-job deadline can interrupt an adversarial choice structure
+// mid-search.
+func EnumerateDistinctReductionsCtx(ctx context.Context, n *petri.Net, maxReductions int) ([]*Reduction, error) {
 	if maxReductions <= 0 {
 		maxReductions = Options{}.maxAllocations()
 	}
@@ -126,6 +135,9 @@ func EnumerateDistinctReductions(n *petri.Net, maxReductions int) ([]*Reduction,
 	// cluster has not been forced by the search yet (defaults to 0).
 	var explore func(assignment []int) error
 	explore = func(assignment []int) error {
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("reduction enumeration interrupted after %d distinct reductions: %w", len(out), err)
+		}
 		chosen := make([]petri.Transition, len(clusters))
 		for i, c := range clusters {
 			alt := assignment[i]

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -65,6 +66,33 @@ type Options struct {
 	// and the invariant package's spans. Nil disables collection; spans
 	// may end on any worker goroutine.
 	Trace *trace.Tracer
+	// Ctx optionally cancels the pipeline's long loops — reduction
+	// enumeration, the schedulability sweep, finite-complete-cycle
+	// search, tradeoff exploration. When the context is done, the
+	// pipeline returns an error wrapping context.Cause(Ctx) at the next
+	// checkpoint (internal/engine uses this for per-job deadlines,
+	// passing its typed ErrJobTimeout as the cause). Nil never cancels.
+	Ctx context.Context
+}
+
+// cancelled returns nil while opt.Ctx is live and an error wrapping
+// context.Cause once it is done. It is the single cancellation checkpoint
+// of the pipeline, so every cancellation error is errors.Is-testable
+// against the caller's cause.
+func (o Options) cancelled() error {
+	return ctxErr(o.Ctx)
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("core: cancelled: %w", context.Cause(ctx))
+	default:
+		return nil
+	}
 }
 
 func (o Options) maxAllocations() int {
@@ -113,6 +141,12 @@ type NotSchedulableError struct {
 func (e *NotSchedulableError) Error() string {
 	return fmt.Sprintf("core: net is not quasi-statically schedulable: %s", e.Report.FailReason)
 }
+
+// Unwrap exposes the failing check's underlying error (the report's
+// Cause), so budget trips and cancellations stay errors.Is-testable —
+// errors.Is(err, ErrBudgetExceeded) holds for a cycle search that blew
+// its firing cap even after the diagnosis is wrapped in this type.
+func (e *NotSchedulableError) Unwrap() error { return e.Report.Cause }
 
 // Cycle is one finite complete cycle of the valid schedule: a firing
 // sequence over the original net that starts and ends at the initial
@@ -164,7 +198,7 @@ func Solve(n *petri.Net, opt Options) (*Schedule, error) {
 		// Output-sensitive search: only distinct T-reductions are built,
 		// without touching the exponential allocation product.
 		var err error
-		reductions, err = EnumerateDistinctReductions(n, opt.maxAllocations())
+		reductions, err = EnumerateDistinctReductionsCtx(opt.Ctx, n, opt.maxAllocations())
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +231,11 @@ func SolveReductions(n *petri.Net, reductions []*Reduction, opt Options) (*Sched
 		sp.End()
 	}
 	forEachIndex(len(reductions), opt.workerCount(), check)
+	// A cancelled sweep leaves stub reports behind; surface the
+	// cancellation instead of misreading a stub as "not schedulable".
+	if err := opt.cancelled(); err != nil {
+		return nil, err
+	}
 	for i, report := range reports {
 		if !report.Schedulable {
 			return nil, &NotSchedulableError{Report: report}
@@ -214,6 +253,11 @@ func SolveReductions(n *petri.Net, reductions []*Reduction, opt Options) (*Sched
 // forEachIndex runs fn(0..n-1), fanning out across up to workers
 // goroutines. Each index is processed exactly once; fn must only write to
 // its own index's slots for the sweep to stay deterministic.
+//
+// A panic in fn is re-raised on the calling goroutine (the first one wins
+// when several workers panic), never on a spawned worker: a raw goroutine
+// panic would kill the whole process and bypass any recovery the caller —
+// in particular the engine's per-job panic quarantine — has installed.
 func forEachIndex(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -226,10 +270,21 @@ func forEachIndex(n, workers int, fn func(i int)) {
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					// Keep draining so the feeder below never blocks on a
+					// channel nobody reads.
+					for range jobs {
+					}
+				}
+			}()
 			for i := range jobs {
 				fn(i)
 			}
@@ -240,6 +295,9 @@ func forEachIndex(n, workers int, fn func(i int)) {
 	}
 	close(jobs)
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // Schedulable is a convenience wrapper: it reports whether the net has a

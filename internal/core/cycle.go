@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,6 +25,13 @@ var ErrCycleDeadlock = errors.New("core: deadlock while realising T-invariant")
 //
 // maxLen bounds the sequence length defensively.
 func FindCompleteCycle(n *petri.Net, counts []int, maxLen int) ([]petri.Transition, error) {
+	return findCompleteCycle(nil, n, counts, maxLen)
+}
+
+// findCompleteCycle is FindCompleteCycle with a cancellation context
+// (nil never cancels), checked once per greedy sweep so a deadline can
+// interrupt a realisation of up to maxLen (default 2^20) firings.
+func findCompleteCycle(ctx context.Context, n *petri.Net, counts []int, maxLen int) ([]petri.Transition, error) {
 	if len(counts) != n.NumTransitions() {
 		return nil, fmt.Errorf("core: counts length %d != %d transitions", len(counts), n.NumTransitions())
 	}
@@ -44,6 +52,9 @@ func FindCompleteCycle(n *petri.Net, counts []int, maxLen int) ([]petri.Transiti
 	m := n.InitialMarking()
 	seq := make([]petri.Transition, 0, total)
 	for len(seq) < total {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("cycle search interrupted after %d of %d firings: %w", len(seq), total, err)
+		}
 		fired := false
 		for t := petri.Transition(0); int(t) < n.NumTransitions(); t++ {
 			if remaining[t] == 0 || !n.Enabled(m, t) {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
 
 // CycleStrategy selects the firing policy used to realise a T-invariant as
@@ -47,6 +49,14 @@ func (s CycleStrategy) String() string {
 // All strategies are complete on conflict-free nets (persistence): if the
 // counts are realisable, every policy realises them.
 func FindCompleteCycleStrategy(n *petri.Net, counts []int, maxLen int, strat CycleStrategy) ([]petri.Transition, error) {
+	return findCompleteCycleStrategy(nil, nil, n, counts, maxLen, strat)
+}
+
+// findCompleteCycleStrategy is the traced, cancellable realisation body:
+// tr records one "core/cycle" detail span per call (matching the solver's
+// cycle search), ctx is checked once per firing sweep.
+func findCompleteCycleStrategy(ctx context.Context, tr *trace.Tracer, n *petri.Net, counts []int, maxLen int, strat CycleStrategy) ([]petri.Transition, error) {
+	defer tr.StartDetail("core/cycle").End()
 	if len(counts) != n.NumTransitions() {
 		return nil, fmt.Errorf("core: counts length %d != %d transitions", len(counts), n.NumTransitions())
 	}
@@ -78,6 +88,9 @@ func FindCompleteCycleStrategy(n *petri.Net, counts []int, maxLen int, strat Cyc
 	}
 
 	for len(seq) < total {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("cycle search under %s interrupted after %d of %d firings: %w", strat, len(seq), total, err)
+		}
 		fired := false
 		switch strat {
 		case StrategyBatch:
@@ -131,14 +144,23 @@ type TradeoffPoint struct {
 }
 
 // Explore solves the net once per strategy and reports the buffer/
-// batching tradeoff of each resulting valid schedule.
+// batching tradeoff of each resulting valid schedule. The solve itself is
+// traced through opt.Trace as usual; the per-strategy re-realisation is
+// recorded under one top-level "core/explore" span (with nested
+// "core/cycle" detail spans), so the phase gate covers the
+// tradeoff-exploration workload too. opt.Ctx cancels mid-exploration.
 func Explore(n *petri.Net, opt Options) ([]TradeoffPoint, error) {
 	base, err := Solve(n, opt)
 	if err != nil {
 		return nil, err
 	}
+	sp := opt.Trace.Start("core/explore")
+	defer sp.End()
 	var out []TradeoffPoint
 	for _, strat := range []CycleStrategy{StrategyRoundRobin, StrategyBatch, StrategyDemand} {
+		if err := opt.cancelled(); err != nil {
+			return nil, fmt.Errorf("core: explore %s: %w", strat, err)
+		}
 		sched := &Schedule{Net: n, AllocationCount: base.AllocationCount}
 		for _, c := range base.Cycles {
 			sub := c.Reduction.Sub
@@ -146,7 +168,7 @@ func Explore(n *petri.Net, opt Options) ([]TradeoffPoint, error) {
 			for st, pt := range sub.ParentTransition {
 				subCounts[st] = c.Counts[pt]
 			}
-			seq, err := FindCompleteCycleStrategy(sub.Net, subCounts, opt.maxCycleLength(), strat)
+			seq, err := findCompleteCycleStrategy(opt.Ctx, opt.Trace, sub.Net, subCounts, opt.maxCycleLength(), strat)
 			if err != nil {
 				return nil, fmt.Errorf("core: explore %s: %w", strat, err)
 			}

@@ -37,6 +37,12 @@ type ReductionReport struct {
 	// Schedulable is the verdict; FailReason explains a false verdict.
 	Schedulable bool
 	FailReason  string
+	// Cause is the underlying error behind a false verdict, when there is
+	// one: a budget trip (wrapping ErrBudgetExceeded), a deadlock
+	// (wrapping ErrCycleDeadlock), or a cancellation (wrapping the
+	// context cause). NotSchedulableError unwraps to it, keeping the
+	// typed error chain intact through the diagnosis.
+	Cause error
 }
 
 // CheckReduction runs the three-part schedulability test of Definition 3.5
@@ -47,6 +53,15 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 	report := &ReductionReport{Reduction: red}
 	sub := red.Sub.Net
 
+	// Deadline checkpoint: once the job is cancelled the remaining checks
+	// of the sweep degrade to stubs; SolveReductions surfaces the
+	// cancellation instead of any stub verdict.
+	if err := opt.cancelled(); err != nil {
+		report.FailReason = err.Error()
+		report.Cause = err
+		return report
+	}
+
 	// Subnet T-semiflows are computed directly, bypassing opt.Semiflows:
 	// keying the content-addressed cache costs a canonical-form computation
 	// per fresh reduction subnet, and phase traces showed that costing more
@@ -56,6 +71,7 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 	tis, err := invariant.TInvariants(sub, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace})
 	if err != nil {
 		report.FailReason = fmt.Sprintf("invariant computation failed: %v", err)
+		report.Cause = err
 		return report
 	}
 	report.Invariants = tis
@@ -110,10 +126,11 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 	// (3) Deadlock-free simulation realising the covering counts and
 	// returning to the initial marking.
 	sp := opt.Trace.StartDetail("core/cycle")
-	seq, simErr := FindCompleteCycle(sub, report.CoveringCounts, opt.maxCycleLength())
+	seq, simErr := findCompleteCycle(opt.Ctx, sub, report.CoveringCounts, opt.maxCycleLength())
 	sp.End()
 	if simErr != nil {
 		report.FailReason = fmt.Sprintf("T-reduction %q deadlocks: %v", sub.Name(), simErr)
+		report.Cause = simErr
 		return report
 	}
 	report.Cycle = red.Sub.MapSequenceToParent(seq)

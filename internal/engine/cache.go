@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"fmt"
 	"strings"
 	"sync"
 
@@ -129,6 +130,21 @@ func (c *cache) getOrCompute(key string, compute func() (any, error)) (any, erro
 	c.inflight[key] = f
 	c.mu.Unlock()
 
+	// A panic in compute must not strand the flight: waiters would block
+	// on done forever and every future lookup of the key would join them.
+	// Convert the panic into an error for the waiters, release the
+	// flight, then re-raise for the leader's own recovery (the engine's
+	// per-job quarantine).
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("engine: computing %s panicked: %v", key, r)
+			close(f.done)
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			panic(r)
+		}
+	}()
 	f.val, f.err = compute()
 	close(f.done)
 

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -34,8 +35,25 @@ import (
 // stays readable through results already held by the caller.)
 var ErrEngineClosed = errors.New("engine: closed")
 
+// ErrJobTimeout is the typed failure of a job that exceeded
+// Config.JobTimeout. It is installed as the deadline's cancellation
+// cause, so it survives errors.Is through every layer the context
+// threads into (core's sweep, cycle search, reduction enumeration).
+var ErrJobTimeout = errors.New("engine: job deadline exceeded")
+
+// ErrJobPanicked is the typed failure of a job whose analysis panicked.
+// The panic is recovered on the worker, the offending canonical hash is
+// quarantined, and the pool keeps running.
+var ErrJobPanicked = errors.New("engine: job panicked")
+
+// ErrQuarantined is returned for jobs whose canonical hash was
+// quarantined by an earlier panic (or seeded via Quarantine, e.g. from a
+// resumed qssd journal): the job is refused without running.
+var ErrQuarantined = errors.New("engine: net is quarantined")
+
 // Config tunes the engine. The zero value is usable: GOMAXPROCS workers,
-// a 4096-entry cache, default solver options.
+// a 4096-entry cache, default solver options, a 2×workers submission
+// window, no deadline, no fault injection.
 type Config struct {
 	// Workers is the analysis worker-pool size (≤ 0 → GOMAXPROCS). The
 	// per-net schedulability sweep inherits it through Core.Workers
@@ -46,6 +64,27 @@ type Config struct {
 	CacheCapacity int
 	// Core is the solver configuration applied to every job.
 	Core core.Options
+
+	// SubmitWindow bounds how many AnalyzeEach/AnalyzeBatch jobs may be
+	// submitted but not yet finished (≤ 0 → 2×Workers). The window is
+	// the engine's backpressure: batch submission blocks once the window
+	// is full, so queue memory for a million-net corpus stays O(window)
+	// instead of O(corpus) and the queue_depth gauge is bounded by it.
+	SubmitWindow int
+	// JobTimeout is the per-job deadline (0 = none). A job past its
+	// deadline is cancelled at the pipeline's next checkpoint and
+	// returns its partial report with a typed ErrJobTimeout.
+	JobTimeout time.Duration
+	// RetryBackoff is the wait before the single retry of a transiently
+	// failed job (one wrapping core.ErrBudgetExceeded; ≤ 0 → 1ms).
+	RetryBackoff time.Duration
+	// FaultHook, when non-nil, runs at the start of every job attempt
+	// with the job's canonical hash and attempt number (0 = first). It
+	// may panic, sleep, or return an error, which the engine treats
+	// exactly like an analysis failure — the injection point for
+	// fault.EngineInjector in the robustness tests. Never set in
+	// production.
+	FaultHook func(ctx context.Context, hash string, attempt int) error
 }
 
 // Engine is the long-running analysis service. Create with New, share
@@ -70,18 +109,60 @@ type Engine struct {
 	// lock and every submit checks it under the read lock.
 	mu     sync.RWMutex
 	closed bool
+
+	// quarantine maps canonical hashes poisoned by a recovered panic (or
+	// seeded via Quarantine) to the reason; jobs for those hashes are
+	// refused with ErrQuarantined.
+	quarantine sync.Map // string -> string
+
+	// onDoneMu serialises AnalyzeEach completion callbacks so callers
+	// (e.g. qssd's journal writer) need no locking of their own.
+	onDoneMu sync.Mutex
 }
 
-// Result pairs a report with its wall-clock analysis time and phase
-// trace. Elapsed and the trace durations are the only non-deterministic
-// outputs, which is why they live outside NetReport (phase *counts* are
-// deterministic and worker-count independent).
+// JobStatus classifies how a job ended. It is the string the batch
+// reports aggregate over.
+type JobStatus string
+
+const (
+	// StatusOK: the analysis ran to completion (the report may still
+	// carry a schedulability diagnosis — that is an answer, not a
+	// failure).
+	StatusOK JobStatus = "ok"
+	// StatusTimeout: the job exceeded Config.JobTimeout; the report is
+	// partial and Err wraps ErrJobTimeout.
+	StatusTimeout JobStatus = "timeout"
+	// StatusPanicked: the analysis panicked; the worker recovered, the
+	// hash is quarantined, Err wraps ErrJobPanicked.
+	StatusPanicked JobStatus = "panicked"
+	// StatusQuarantined: the job was refused because its hash was
+	// already quarantined; Err wraps ErrQuarantined.
+	StatusQuarantined JobStatus = "quarantined"
+	// StatusError: a residual job-level failure that is none of the
+	// above (e.g. a persistent injected fault).
+	StatusError JobStatus = "error"
+)
+
+// Result pairs a report with its wall-clock analysis time, phase trace
+// and failure classification. Elapsed and the trace durations are the
+// only non-deterministic outputs, which is why they live outside
+// NetReport (phase *counts* are deterministic and worker-count
+// independent).
 type Result struct {
 	Report  *NetReport
 	Elapsed time.Duration
 	// Trace is the job's per-phase breakdown; its non-detail phases sum
-	// to Elapsed modulo scheduling glue.
+	// to Elapsed modulo scheduling glue. Failure modes appear as
+	// "engine/timeout", "engine/panic" and "engine/retry" detail phases
+	// plus matching counters.
 	Trace *trace.Report
+	// Status classifies the job's ending; Err is the typed job-level
+	// error for every status but StatusOK (errors.Is-testable against
+	// ErrJobTimeout / ErrJobPanicked / ErrQuarantined). A timed-out or
+	// panicked job still carries the partial Report built before the
+	// failure.
+	Status JobStatus
+	Err    error
 }
 
 // New starts an engine with its worker pool.
@@ -141,16 +222,62 @@ func (e *Engine) Stats() stats.Snapshot {
 }
 
 // coreOpts is the per-job solver configuration: the engine's cache, the
-// job's tracer and — unless the caller pinned one — the engine's worker
-// count for the inner schedulability sweep.
-func (e *Engine) coreOpts(tr *trace.Tracer) core.Options {
+// job's tracer, the job's cancellation context and — unless the caller
+// pinned one — the engine's worker count for the inner schedulability
+// sweep.
+func (e *Engine) coreOpts(ctx context.Context, tr *trace.Tracer) core.Options {
 	opt := e.cfg.Core
 	opt.Semiflows = semiflowCache{e.cache}
 	opt.Trace = tr
+	opt.Ctx = ctx
 	if opt.Workers == 0 {
 		opt.Workers = e.workers
 	}
 	return opt
+}
+
+// submitWindow is the effective AnalyzeEach backpressure window.
+func (e *Engine) submitWindow() int {
+	if e.cfg.SubmitWindow > 0 {
+		return e.cfg.SubmitWindow
+	}
+	return 2 * e.workers
+}
+
+// retryBackoff is the wait before a transient-failure retry.
+func (e *Engine) retryBackoff() time.Duration {
+	if e.cfg.RetryBackoff > 0 {
+		return e.cfg.RetryBackoff
+	}
+	return time.Millisecond
+}
+
+// jobContext returns the per-attempt context: deadline-bound with
+// ErrJobTimeout as the cancellation cause when Config.JobTimeout is set.
+func (e *Engine) jobContext() (context.Context, context.CancelFunc) {
+	if e.cfg.JobTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeoutCause(context.Background(), e.cfg.JobTimeout, ErrJobTimeout)
+}
+
+// Quarantine marks a canonical hash as poisoned: subsequent jobs for it
+// are refused with ErrQuarantined instead of running. The engine calls
+// this itself after a recovered panic; qssd -resume seeds it from
+// journalled panics.
+func (e *Engine) Quarantine(hash, reason string) {
+	e.quarantine.LoadOrStore(hash, reason)
+}
+
+// QuarantinedHashes lists the quarantined canonical hashes, sorted.
+func (e *Engine) QuarantinedHashes() []string {
+	var out []string
+	e.quarantine.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
 }
 
 // submit schedules fn on the pool, or reports ErrEngineClosed.
@@ -160,7 +287,7 @@ func (e *Engine) submit(fn func()) error {
 	if e.closed {
 		return ErrEngineClosed
 	}
-	e.counters.QueueDepth.Add(1)
+	e.counters.ObserveQueueDepth(e.counters.QueueDepth.Add(1))
 	e.jobs <- fn
 	return nil
 }
@@ -177,37 +304,66 @@ func (e *Engine) run(fn func()) error {
 
 // Analyze runs the full structural + behavioural analysis of one net on
 // the pool and returns its deterministic report. After Close it returns
-// ErrEngineClosed.
+// ErrEngineClosed. Job-level failures (deadline, panic, quarantine)
+// return the typed error alongside the partial report built before the
+// failure.
 func (e *Engine) Analyze(n *petri.Net) (*NetReport, error) {
-	var rep *NetReport
-	if err := e.run(func() { rep, _ = e.analyze(n) }); err != nil {
+	var res Result
+	if err := e.run(func() { res = e.analyzeJob(n) }); err != nil {
 		return nil, err
 	}
-	return rep, nil
+	return res.Report, res.Err
 }
 
 // AnalyzeBatch analyses the nets concurrently across the pool and returns
-// the results in input order. After Close it returns ErrEngineClosed
-// (jobs already submitted still finish).
+// the results in input order. Submission is bounded by the engine's
+// backpressure window (Config.SubmitWindow). After Close it returns
+// ErrEngineClosed (jobs already submitted still finish). Per-job
+// failures — timeouts, panics, quarantine refusals — do NOT fail the
+// batch: they come back as typed Result.Err/Status entries while the
+// healthy nets' reports stay byte-identical to a fault-free run.
 func (e *Engine) AnalyzeBatch(nets []*petri.Net) ([]Result, error) {
 	out := make([]Result, len(nets))
+	err := e.AnalyzeEach(nets, func(i int, r Result) { out[i] = r })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AnalyzeEach is the streaming form of AnalyzeBatch: onDone fires once
+// per net as its job finishes (serialised — no caller locking needed —
+// but in completion order, not input order; i is the net's input index).
+// At most the submission window's worth of jobs is in flight, so corpus
+// memory beyond the results the caller retains is O(window). qssd's
+// crash-safe journal hangs off this callback.
+func (e *Engine) AnalyzeEach(nets []*petri.Net, onDone func(i int, r Result)) error {
+	window := e.submitWindow()
+	slots := make(chan struct{}, window)
 	var wg sync.WaitGroup
 	for i, n := range nets {
+		// Backpressure: block until an in-flight job frees a slot.
+		slots <- struct{}{}
 		i, n := i, n
 		wg.Add(1)
 		if err := e.submit(func() {
 			defer wg.Done()
-			t0 := time.Now()
-			rep, tr := e.analyze(n)
-			out[i] = Result{Report: rep, Elapsed: time.Since(t0), Trace: tr}
+			r := e.analyzeJob(n)
+			// Free the slot before the callback: journal writes and other
+			// caller work must not throttle the pool.
+			<-slots
+			e.onDoneMu.Lock()
+			defer e.onDoneMu.Unlock()
+			onDone(i, r)
 		}); err != nil {
+			<-slots
 			wg.Done()
 			wg.Wait()
-			return nil, err
+			return err
 		}
 	}
 	wg.Wait()
-	return out, nil
+	return nil
 }
 
 // Synthesize runs the complete pipeline — schedule, task partition, code
@@ -224,21 +380,45 @@ func (e *Engine) Synthesize(n *petri.Net) (*Synthesis, error) {
 	return syn, err
 }
 
-func (e *Engine) synthesize(n *petri.Net) (*Synthesis, error) {
+func (e *Engine) synthesize(n *petri.Net) (syn *Synthesis, err error) {
 	e.counters.Jobs.Add(1)
 	tr := trace.New()
 	defer e.tracer.Merge(tr)
+	// Synthesis gets the same worker-level guard rails as analysis: a
+	// recovered panic quarantines the hash, a deadline cancels the solve.
+	var cf *petri.CanonicalForm
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.Panics.Add(1)
+			tr.Add("engine/panic", 1)
+			err = fmt.Errorf("%w: %v", ErrJobPanicked, r)
+			if cf != nil {
+				e.Quarantine(cf.Hash, err.Error())
+			}
+			syn = nil
+		}
+	}()
+	ctx, cancel := e.jobContext()
+	defer cancel()
 	sp := tr.Start("petri/canonical")
-	cf := n.CanonicalForm()
+	cf = n.CanonicalForm()
 	sp.End()
+	if reason, ok := e.quarantine.Load(cf.Hash); ok {
+		e.counters.QuarantineSkips.Add(1)
+		return nil, fmt.Errorf("%w: %s (%s)", ErrQuarantined, cf.Hash, reason.(string))
+	}
 	sp = tr.Start("core/solve")
-	sched, err := e.schedule(n, cf, nil, tr)
+	sched, err := e.schedule(ctx, n, cf, nil, tr)
 	sp.End()
 	if err != nil {
+		if cerr := ctxCause(ctx); cerr != nil {
+			e.counters.Timeouts.Add(1)
+			return nil, cerr
+		}
 		return nil, err
 	}
 	sp = tr.Start("core/tasks")
-	tp, err := core.PartitionTasks(n, e.coreOpts(tr))
+	tp, err := core.PartitionTasks(n, e.coreOpts(ctx, tr))
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -279,14 +459,14 @@ type cachedCycle struct {
 // Reduction objects instead of re-running Reduce per cycle. Nil — the
 // warm path, or a caller without the set — falls back to the
 // self-contained computation.
-func (e *Engine) schedule(n *petri.Net, cf *petri.CanonicalForm, reds []*core.Reduction, tr *trace.Tracer) (*core.Schedule, error) {
+func (e *Engine) schedule(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm, reds []*core.Reduction, tr *trace.Tracer) (*core.Schedule, error) {
 	v, err := e.cache.getOrCompute("sched:"+cf.Hash, func() (any, error) {
 		var s *core.Schedule
 		var err error
 		if reds != nil && !e.cfg.Core.KeepDuplicateReductions {
-			s, err = core.SolveReductions(n, reds, e.coreOpts(tr))
+			s, err = core.SolveReductions(n, reds, e.coreOpts(ctx, tr))
 		} else {
-			s, err = core.Solve(n, e.coreOpts(tr))
+			s, err = core.Solve(n, e.coreOpts(ctx, tr))
 		}
 		if err != nil {
 			return nil, err
@@ -397,11 +577,11 @@ func appendInt(b []byte, v int) []byte {
 // computed it (a cache miss this goroutine won): analyze hands it to
 // schedule() so a cold job enumerates reductions exactly once. On hits —
 // and for singleflight waiters — it is nil.
-func (e *Engine) reductions(n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Transition, []*core.Reduction, error) {
+func (e *Engine) reductions(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Transition, []*core.Reduction, error) {
 	max := e.cfg.Core.MaxAllocations
 	var fresh []*core.Reduction
 	v, err := e.cache.getOrCompute("reds:"+cf.Hash, func() (any, error) {
-		reds, err := core.EnumerateDistinctReductions(n, max)
+		reds, err := core.EnumerateDistinctReductionsCtx(ctx, n, max)
 		if err != nil {
 			return nil, err
 		}
@@ -462,26 +642,156 @@ func (e *Engine) structuralBounds(n *petri.Net, cf *petri.CanonicalForm, tr *tra
 
 // ---- analysis --------------------------------------------------------
 
-// analyze runs one job under a fresh per-job tracer and returns the
-// deterministic report plus the job's phase breakdown. The tracer is
-// folded into the engine-lifetime aggregate before returning.
-func (e *Engine) analyze(n *petri.Net) (*NetReport, *trace.Report) {
+// ctxCause returns nil while ctx is live and an error wrapping
+// context.Cause once it is done (for a deadline job, that cause is the
+// typed ErrJobTimeout).
+func ctxCause(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("engine: job cancelled: %w", context.Cause(ctx))
+	default:
+		return nil
+	}
+}
+
+// minimalReport identifies a net whose analysis never ran (or died
+// early): enough for a journal entry and a quarantine record.
+func minimalReport(n *petri.Net, cf *petri.CanonicalForm) *NetReport {
+	return &NetReport{
+		Name:        n.Name(),
+		Hash:        cf.Hash,
+		Places:      n.NumPlaces(),
+		Transitions: n.NumTransitions(),
+		Arcs:        len(n.Arcs()),
+	}
+}
+
+// analyzeJob runs one fully guarded analysis job on a worker goroutine:
+// canonicalise, refuse quarantined hashes, then attempt the analysis
+// under the per-job deadline with panic recovery and the retry-once
+// policy. It never panics and never blocks past the deadline by more
+// than one pipeline checkpoint.
+func (e *Engine) analyzeJob(n *petri.Net) Result {
+	e.counters.Jobs.Add(1)
+	t0 := time.Now()
 	tr := trace.New()
-	rep := e.analyzeTraced(n, tr)
+	res := e.analyzeGuarded(n, tr)
+	res.Elapsed = time.Since(t0)
 	e.tracer.Merge(tr)
-	return rep, tr.Report()
+	res.Trace = tr.Report()
+	return res
+}
+
+func (e *Engine) analyzeGuarded(n *petri.Net, tr *trace.Tracer) Result {
+	cf, err := e.canonical(n, tr)
+	if err != nil {
+		// Canonicalisation itself panicked: there is no hash to
+		// quarantine, but the job still returns typed instead of killing
+		// the worker.
+		e.counters.Panics.Add(1)
+		tr.Add("engine/panic", 1)
+		return Result{Report: &NetReport{Name: n.Name()}, Status: StatusPanicked, Err: err}
+	}
+	if reason, ok := e.quarantine.Load(cf.Hash); ok {
+		e.counters.QuarantineSkips.Add(1)
+		tr.Add("engine/quarantined", 1)
+		return Result{
+			Report: minimalReport(n, cf),
+			Status: StatusQuarantined,
+			Err:    fmt.Errorf("%w: %s (%s)", ErrQuarantined, cf.Hash, reason.(string)),
+		}
+	}
+
+	const attempts = 2
+	var rep *NetReport
+	var jobErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		final := attempt == attempts-1
+		ta := time.Now()
+		ctx, cancel := e.jobContext()
+		rep, jobErr = e.attempt(ctx, n, cf, tr, final, attempt)
+		expired := ctx.Err() != nil
+		cancel()
+		if rep == nil {
+			rep = minimalReport(n, cf)
+		}
+		switch {
+		case errors.Is(jobErr, ErrJobPanicked):
+			// Quarantine the hash so one poisoned net cannot keep taking
+			// workers down; the panic itself was recovered in attempt().
+			e.Quarantine(cf.Hash, jobErr.Error())
+			e.counters.Panics.Add(1)
+			tr.Observe("engine/panic", time.Since(ta), true)
+			return Result{Report: rep, Status: StatusPanicked, Err: jobErr}
+		case jobErr != nil && expired:
+			// The job's own deadline fired: partial result, typed error.
+			e.counters.Timeouts.Add(1)
+			tr.Observe("engine/timeout", time.Since(ta), true)
+			return Result{Report: rep, Status: StatusTimeout, Err: jobErr}
+		case jobErr != nil && !final &&
+			(errors.Is(jobErr, core.ErrBudgetExceeded) || errors.Is(jobErr, ErrJobTimeout)):
+			// Transient: a budget trip (possibly injected) or a
+			// singleflight leader's deadline observed from a waiter whose
+			// own deadline is intact. Retry once with backoff.
+			e.counters.Retries.Add(1)
+			backoff := e.retryBackoff()
+			tr.Observe("engine/retry", backoff, true)
+			time.Sleep(backoff)
+			continue
+		case jobErr != nil:
+			return Result{Report: rep, Status: StatusError, Err: jobErr}
+		default:
+			return Result{Report: rep, Status: StatusOK}
+		}
+	}
+	return Result{Report: rep, Status: StatusError, Err: jobErr}
+}
+
+// canonical computes the net's canonical form under the job's
+// "petri/canonical" span, converting a canonicalisation panic into a
+// typed error.
+func (e *Engine) canonical(n *petri.Net, tr *trace.Tracer) (cf *petri.CanonicalForm, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: canonicalisation: %v", ErrJobPanicked, r)
+		}
+	}()
+	sp := tr.Start("petri/canonical")
+	cf = n.CanonicalForm()
+	sp.End()
+	return cf, nil
+}
+
+// attempt runs one analysis attempt: the fault hook (tests only), then
+// the traced analysis body, with panics recovered into ErrJobPanicked.
+func (e *Engine) attempt(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm, tr *trace.Tracer, final bool, attempt int) (rep *NetReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrJobPanicked, r)
+		}
+	}()
+	if e.cfg.FaultHook != nil {
+		if herr := e.cfg.FaultHook(ctx, cf.Hash, attempt); herr != nil {
+			return nil, herr
+		}
+	}
+	return e.analyzeTraced(ctx, n, cf, tr, final)
 }
 
 // analyzeTraced is the analysis body. The top-level spans below are
 // sequential and cover every statement between the first and the last, so
 // their totals account for the job's wall time (the qssd report checks
-// that sum against elapsed time per net).
-func (e *Engine) analyzeTraced(n *petri.Net, tr *trace.Tracer) *NetReport {
-	e.counters.Jobs.Add(1)
-	sp := tr.Start("petri/canonical")
-	cf := n.CanonicalForm()
-	sp.End()
-	sp = tr.Start("petri/classify")
+// that sum against elapsed time per net). Cancellation is checked at
+// every stage boundary (and inside core's long loops via opt.Ctx); a
+// cancelled job returns the report built so far plus the cause error.
+// finalAttempt folds budget-typed schedule failures into the report's
+// ScheduleError (the real verdict); earlier attempts surface them as
+// errors so the caller's retry policy can run.
+func (e *Engine) analyzeTraced(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm, tr *trace.Tracer, finalAttempt bool) (*NetReport, error) {
+	sp := tr.Start("petri/classify")
 	rep := &NetReport{
 		Name:        n.Name(),
 		Hash:        cf.Hash,
@@ -497,6 +807,9 @@ func (e *Engine) analyzeTraced(n *petri.Net, tr *trace.Tracer) *NetReport {
 	sp.End()
 	fail := func(stage string, err error) {
 		rep.Errors = append(rep.Errors, stage+": "+err.Error())
+	}
+	if cerr := ctxCause(ctx); cerr != nil {
+		return rep, cerr
 	}
 
 	iopt := invariant.Options{MaxRows: e.cfg.Core.MaxRows, Trace: tr}
@@ -532,17 +845,24 @@ func (e *Engine) analyzeTraced(n *petri.Net, tr *trace.Tracer) *NetReport {
 		}
 	}
 	sp.End()
+	if cerr := ctxCause(ctx); cerr != nil {
+		return rep, cerr
+	}
 
 	if !rep.FreeChoice || n.Validate() != nil {
 		if err := n.Validate(); err != nil {
 			rep.ScheduleError = err.Error()
 		}
-		return rep
+		return rep, nil
 	}
 
 	sp = tr.Start("core/reduce")
-	rows, fresh, err := e.reductions(n, cf)
+	rows, fresh, err := e.reductions(ctx, n, cf)
 	if err != nil {
+		if cerr := ctxCause(ctx); cerr != nil {
+			sp.End()
+			return rep, cerr
+		}
 		fail("reductions", err)
 	} else {
 		for _, ts := range rows {
@@ -552,11 +872,21 @@ func (e *Engine) analyzeTraced(n *petri.Net, tr *trace.Tracer) *NetReport {
 	sp.End()
 
 	sp = tr.Start("core/solve")
-	sched, err := e.schedule(n, cf, fresh, tr)
+	sched, err := e.schedule(ctx, n, cf, fresh, tr)
 	sp.End()
 	if err != nil {
+		if cerr := ctxCause(ctx); cerr != nil {
+			// The deadline fired mid-sweep: surface the cancellation, not a
+			// bogus "not schedulable" verdict.
+			return rep, cerr
+		}
+		if !finalAttempt && errors.Is(err, core.ErrBudgetExceeded) {
+			// Transient budget trip: hand it to the retry policy instead of
+			// recording a verdict that a second attempt might overturn.
+			return rep, err
+		}
 		rep.ScheduleError = err.Error()
-		return rep
+		return rep, nil
 	}
 	rep.Schedulable = true
 	rep.Allocations = sched.AllocationCount
@@ -573,8 +903,12 @@ func (e *Engine) analyzeTraced(n *petri.Net, tr *trace.Tracer) *NetReport {
 	sp.End()
 
 	sp = tr.Start("core/tasks")
-	tp, err := core.PartitionTasks(n, e.coreOpts(tr))
+	tp, err := core.PartitionTasks(n, e.coreOpts(ctx, tr))
 	if err != nil {
+		if cerr := ctxCause(ctx); cerr != nil {
+			sp.End()
+			return rep, cerr
+		}
 		fail("tasks", err)
 	} else {
 		for _, task := range tp.Tasks {
@@ -586,7 +920,7 @@ func (e *Engine) analyzeTraced(n *petri.Net, tr *trace.Tracer) *NetReport {
 		}
 	}
 	sp.End()
-	return rep
+	return rep, nil
 }
 
 func lessIntSlice(a, b []int) bool {

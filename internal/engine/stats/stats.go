@@ -23,11 +23,36 @@ type Counters struct {
 	// QueueDepth is the number of submitted jobs not yet picked up by a
 	// worker (a gauge).
 	QueueDepth atomic.Int64
+	// QueueDepthPeak is the high-water mark of QueueDepth over the
+	// engine's lifetime. With a bounded submission window it never
+	// exceeds the window, which is what makes the gauge meaningful.
+	QueueDepthPeak atomic.Int64
 	// BusyWorkers is the number of workers currently executing a job
 	// (a gauge).
 	BusyWorkers atomic.Int64
 	// BusyNanos accumulates worker busy time, for utilisation.
 	BusyNanos atomic.Int64
+
+	// Failure-mode counters (see docs/ENGINE.md "Failure modes"):
+	// Timeouts counts jobs that hit their per-job deadline, Panics jobs
+	// whose worker recovered a panic, Retries transient-failure retries,
+	// QuarantineSkips jobs refused because their canonical hash was
+	// quarantined by an earlier panic.
+	Timeouts        atomic.Int64
+	Panics          atomic.Int64
+	Retries         atomic.Int64
+	QuarantineSkips atomic.Int64
+}
+
+// ObserveQueueDepth folds a just-observed queue depth into the peak
+// gauge.
+func (c *Counters) ObserveQueueDepth(depth int64) {
+	for {
+		peak := c.QueueDepthPeak.Load()
+		if depth <= peak || c.QueueDepthPeak.CompareAndSwap(peak, depth) {
+			return
+		}
+	}
 }
 
 // Snapshot is a consistent-enough point-in-time reading of the counters,
@@ -38,8 +63,18 @@ type Snapshot struct {
 	CacheMisses int64   `json:"cache_misses"`
 	HitRate     float64 `json:"hit_rate"`
 	QueueDepth  int64   `json:"queue_depth"`
-	BusyWorkers int64   `json:"busy_workers"`
-	Workers     int     `json:"workers"`
+	// QueueDepthPeak is the lifetime high-water mark of the queue gauge;
+	// with AnalyzeBatch's bounded submission window it stays ≤ the window.
+	QueueDepthPeak int64 `json:"queue_depth_peak"`
+	BusyWorkers    int64 `json:"busy_workers"`
+	Workers        int   `json:"workers"`
+
+	// Failure-mode counters: deadline trips, recovered panics,
+	// transient-failure retries, and quarantine refusals.
+	Timeouts        int64 `json:"timeouts,omitempty"`
+	Panics          int64 `json:"panics,omitempty"`
+	Retries         int64 `json:"retries,omitempty"`
+	QuarantineSkips int64 `json:"quarantine_skips,omitempty"`
 	// Utilization is cumulative worker busy time divided by
 	// workers × wall time, in [0, 1] modulo sampling skew.
 	Utilization float64 `json:"utilization"`
@@ -53,12 +88,17 @@ type Snapshot struct {
 // the engine's elapsed wall-clock time, both needed for utilisation.
 func (c *Counters) Snapshot(workers int, wallNanos int64) Snapshot {
 	s := Snapshot{
-		Jobs:        c.Jobs.Load(),
-		CacheHits:   c.CacheHits.Load(),
-		CacheMisses: c.CacheMisses.Load(),
-		QueueDepth:  c.QueueDepth.Load(),
-		BusyWorkers: c.BusyWorkers.Load(),
-		Workers:     workers,
+		Jobs:            c.Jobs.Load(),
+		CacheHits:       c.CacheHits.Load(),
+		CacheMisses:     c.CacheMisses.Load(),
+		QueueDepth:      c.QueueDepth.Load(),
+		QueueDepthPeak:  c.QueueDepthPeak.Load(),
+		BusyWorkers:     c.BusyWorkers.Load(),
+		Workers:         workers,
+		Timeouts:        c.Timeouts.Load(),
+		Panics:          c.Panics.Load(),
+		Retries:         c.Retries.Load(),
+		QuarantineSkips: c.QuarantineSkips.Load(),
 	}
 	if total := s.CacheHits + s.CacheMisses; total > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(total)

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fcpn/internal/core"
+)
+
+// This file is the engine-level injector: where fault.go perturbs RTOS
+// event streams, EngineInjector perturbs analysis *jobs* — panicking
+// workers, jobs that outlive their deadline, transient budget trips —
+// through the engine's Config.FaultHook. Decisions are a pure function
+// of (seed, canonical hash), so a faulted corpus run is reproducible
+// net-for-net, which is what lets the robustness tests assert that the
+// healthy nets' reports stay byte-identical to a fault-free run.
+
+// ErrInjected marks every error produced by EngineInjector, so tests can
+// tell an injected failure from a genuine one with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// JobFaultKind classifies what an EngineInjector does to one job attempt.
+type JobFaultKind int
+
+const (
+	// FaultNone leaves the attempt alone.
+	FaultNone JobFaultKind = iota
+	// FaultPanic panics on the worker (exercises recovery + quarantine).
+	FaultPanic
+	// FaultSlow sleeps for SlowFor or until the job's deadline fires,
+	// whichever comes first (exercises per-job timeouts).
+	FaultSlow
+	// FaultFlaky fails the first attempt with an injected transient
+	// budget trip and lets retries through (exercises the retry policy).
+	FaultFlaky
+)
+
+// String names the kind for reports.
+func (k JobFaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultSlow:
+		return "slow"
+	case FaultFlaky:
+		return "flaky"
+	default:
+		return "none"
+	}
+}
+
+// EngineInjector decides, per canonical hash, whether an analysis job is
+// perturbed and how. Percentage fields select background victims
+// pseudo-randomly (seeded by Seed XOR a hash of the net's canonical
+// hash); Force pins specific hashes to specific faults for targeted
+// tests. The zero value injects nothing.
+type EngineInjector struct {
+	// Seed drives the per-hash percentage draws.
+	Seed uint64
+	// PanicPct / SlowPct / FlakyPct are the percentages of jobs (by
+	// hash) hit by each fault. Draws are made in that order from one
+	// per-hash generator, so the classes are disjoint in practice.
+	PanicPct, SlowPct, FlakyPct int
+	// SlowFor is how long FaultSlow sleeps (default 50ms).
+	SlowFor time.Duration
+	// Force pins canonical hashes to fault kinds, overriding the draws.
+	Force map[string]JobFaultKind
+}
+
+// Kind reports the fault assigned to a canonical hash.
+func (inj *EngineInjector) Kind(hash string) JobFaultKind {
+	if k, ok := inj.Force[hash]; ok {
+		return k
+	}
+	if inj.PanicPct <= 0 && inj.SlowPct <= 0 && inj.FlakyPct <= 0 {
+		return FaultNone
+	}
+	r := NewRand(inj.Seed ^ hashSeed(hash))
+	if r.Pct() < inj.PanicPct {
+		return FaultPanic
+	}
+	if r.Pct() < inj.SlowPct {
+		return FaultSlow
+	}
+	if r.Pct() < inj.FlakyPct {
+		return FaultFlaky
+	}
+	return FaultNone
+}
+
+// Hook adapts the injector to engine.Config.FaultHook. Panic and slow
+// faults hit every attempt of a victim (panics quarantine, so there is
+// at most one; a slow job must not get faster on retry). Flaky faults
+// hit only attempt 0, so the engine's retry-once policy recovers them.
+func (inj *EngineInjector) Hook() func(ctx context.Context, hash string, attempt int) error {
+	return func(ctx context.Context, hash string, attempt int) error {
+		switch inj.Kind(hash) {
+		case FaultPanic:
+			panic(fmt.Sprintf("fault: injected panic for %s (attempt %d)", hash, attempt))
+		case FaultSlow:
+			slow := inj.SlowFor
+			if slow <= 0 {
+				slow = 50 * time.Millisecond
+			}
+			timer := time.NewTimer(slow)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				return nil
+			case <-ctx.Done():
+				return fmt.Errorf("%w: slow job cancelled: %w", ErrInjected, context.Cause(ctx))
+			}
+		case FaultFlaky:
+			if attempt == 0 {
+				return fmt.Errorf("%w: transient budget trip: %w", ErrInjected, core.ErrBudgetExceeded)
+			}
+		}
+		return nil
+	}
+}
+
+// hashSeed folds a canonical hash string into a 64-bit seed (FNV-1a).
+func hashSeed(hash string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(hash); i++ {
+		h ^= uint64(hash[i])
+		h *= 1099511628211
+	}
+	return h
+}

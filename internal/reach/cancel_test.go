@@ -1,0 +1,32 @@
+package reach
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fcpn/internal/figures"
+)
+
+// TestBuildGraphCancelled checks the explicit exploration stops at the
+// next expanded marking with the installed cause intact.
+func TestBuildGraphCancelled(t *testing.T) {
+	cause := errors.New("test: deadline")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+
+	n := figures.Figure5()
+	if _, err := BuildGraph(n, n.InitialMarking(), Options{Ctx: ctx}); !errors.Is(err, cause) {
+		t.Fatalf("BuildGraph ignored cancellation: %v", err)
+	}
+	if _, err := Reachable(n, n.InitialMarking(), n.InitialMarking(), Options{Ctx: ctx}); !errors.Is(err, cause) {
+		t.Fatalf("Reachable ignored cancellation: %v", err)
+	}
+	// A live context changes nothing: figure 5 is open (source
+	// transitions), so the un-cancelled exploration runs into the state
+	// cap — the pre-existing behaviour — rather than any cancellation.
+	_, err := BuildGraph(n, n.InitialMarking(), Options{Ctx: context.Background(), MaxStates: 500})
+	if !errors.Is(err, ErrStateSpaceExceeded) || errors.Is(err, cause) {
+		t.Fatalf("live ctx changed exploration: %v", err)
+	}
+}

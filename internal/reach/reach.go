@@ -6,6 +6,7 @@
 package reach
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,6 +25,11 @@ type Options struct {
 	// Trace optionally records one "reach/graph" detail span per explicit
 	// state-space exploration. Nil disables collection.
 	Trace *trace.Tracer
+	// Ctx optionally cancels exploration: when done, the search returns
+	// an error wrapping context.Cause(Ctx) at the next expanded marking,
+	// so a per-job deadline bounds even explorations well under
+	// MaxStates. Nil never cancels.
+	Ctx context.Context
 }
 
 func (o Options) maxStates() int {
@@ -31,6 +37,20 @@ func (o Options) maxStates() int {
 		return 100000
 	}
 	return o.MaxStates
+}
+
+// cancelled returns nil while o.Ctx is live and an error wrapping
+// context.Cause once it is done.
+func (o Options) cancelled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return fmt.Errorf("reach: exploration cancelled: %w", context.Cause(o.Ctx))
+	default:
+		return nil
+	}
 }
 
 // Edge is one transition firing in the reachability graph.
@@ -83,6 +103,9 @@ func BuildGraph(n *petri.Net, m0 petri.Marking, opt Options) (*Graph, error) {
 	}
 	add(m0)
 	for head := 0; head < len(g.Markings); head++ {
+		if err := opt.cancelled(); err != nil {
+			return nil, fmt.Errorf("%w (at %d states)", err, len(g.Markings))
+		}
 		if len(g.Markings) > max {
 			return nil, fmt.Errorf("%w (> %d states)", ErrStateSpaceExceeded, max)
 		}
@@ -108,6 +131,9 @@ func Reachable(n *petri.Net, m0, target petri.Marking, opt Options) (bool, error
 	seen := map[string]bool{m0.Key(): true}
 	queue := []petri.Marking{m0.Clone()}
 	for len(queue) > 0 {
+		if err := opt.cancelled(); err != nil {
+			return false, fmt.Errorf("%w (at %d states)", err, len(seen))
+		}
 		m := queue[0]
 		queue = queue[1:]
 		if m.Equal(target) {

@@ -283,6 +283,16 @@ func (r *Report) TopTotalMS() float64 {
 	return sum
 }
 
+// Counter returns the named counter's value, or 0 when absent (including
+// on a nil report). Failure-mode counters like "engine/retry" are read
+// through this in tests and reports.
+func (r *Report) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Counters[name]
+}
+
 // Phase returns the named phase's stats, or a zero PhaseStat if absent.
 func (r *Report) Phase(name string) (PhaseStat, bool) {
 	if r == nil {
