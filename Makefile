@@ -20,12 +20,14 @@ bench:
 # engine, with a serial rerun of the cold pass for the speedup ratio.
 # Writes BENCH_engine.json (cold and warm throughput are reported
 # separately; see docs/TRACING.md) and the per-job checkpoint journal
-# BENCH_journal.jsonl (crash-safe resume evidence; CI uploads both).
+# BENCH_journal.jsonl (crash-safe resume evidence; CI uploads both),
+# compacted to one line per canonical hash before upload.
 bench-json:
 	rm -f BENCH_journal.jsonl
 	go run ./cmd/qssd -gen 50 -repeat 3 -workers 4 -compare-serial \
 		-journal BENCH_journal.jsonl \
 		-o BENCH_engine.json examples/nets/*.pn
+	go run ./cmd/qssd -journal BENCH_journal.jsonl -compact
 	@grep -E '"(cold_nets_per_sec|warm_nets_per_sec|hit_rate|speedup|gomaxprocs)"' BENCH_engine.json
 
 # Phase-regression gate (see docs/TRACING.md): run a small fixed traced
@@ -48,6 +50,7 @@ cover:
 fuzz:
 	go test -fuzz='FuzzParse$$' -fuzztime=30s ./internal/petri/
 	go test -fuzz='FuzzParsePN$$' -fuzztime=30s ./internal/petri/
+	go test -fuzz='FuzzFarkasLadder$$' -fuzztime=30s ./internal/linalg/
 
 examples:
 	go run ./examples/quickstart

@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"fcpn/internal/engine"
 )
@@ -89,6 +91,72 @@ func (w *journalWriter) Close() error {
 		return w.err
 	}
 	return cerr
+}
+
+// compactJournal rewrites the journal in place to one line per canonical
+// hash, keeping the latest entry for each — the exact state -resume would
+// reconstruct, including quarantine records (a panicked or quarantined
+// entry is the latest for its hash until the net is successfully
+// re-analysed, so later-wins preserves it). Entries are written sorted by
+// hash so compaction is deterministic, and the rewrite goes through a
+// temporary file renamed over the original so a crash mid-compaction
+// never loses the journal. Returns the line count before and the entry
+// count after.
+func compactJournal(path string) (before, after int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	entries := map[string]journalEntry{}
+	r := bufio.NewReader(f)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if len(line) > 0 {
+			before++
+			var ent journalEntry
+			if jerr := json.Unmarshal(line, &ent); jerr == nil && ent.Hash != "" {
+				entries[ent.Hash] = ent
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.Close()
+			return before, 0, rerr
+		}
+	}
+	f.Close()
+
+	hashes := make([]string, 0, len(entries))
+	for h := range entries {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		return before, 0, err
+	}
+	defer os.Remove(tmp.Name())
+	for _, h := range hashes {
+		b, err := json.Marshal(entries[h])
+		if err != nil {
+			tmp.Close()
+			return before, 0, err
+		}
+		if _, err := tmp.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			return before, 0, err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return before, 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return before, 0, err
+	}
+	return before, len(entries), nil
 }
 
 // readJournal loads a journal into a hash-keyed map. Later entries win

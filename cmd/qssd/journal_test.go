@@ -151,3 +151,100 @@ func TestQssdResumeRequiresJournal(t *testing.T) {
 		t.Fatal("-resume without -journal must error")
 	}
 }
+
+// TestQssdCompactJournal runs the same corpus twice (doubling every
+// hash's line count), tears a final line, and plants a quarantine record
+// for an unrelated net; -compact must fold the file to one line per hash,
+// keep the quarantine record, and leave -resume behaviour unchanged.
+func TestQssdCompactJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	runJSON(t, "-gen", "3", "-gen-seed", "50", "-journal", journal)
+	runJSON(t, "-gen", "3", "-gen-seed", "50", "-journal", journal)
+
+	quarantined, err := json.Marshal(journalEntry{
+		Hash:   genHash(60),
+		Source: "gen:60",
+		Status: string(engine.StatusPanicked),
+		Error:  "engine: job panicked: synthetic for test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(quarantined, []byte("\n{\"hash\":\"torn")...)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	before, err := readJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-journal", journal, "-compact"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("8 lines -> 4 entries")) {
+		t.Fatalf("compact summary: %q", buf.String())
+	}
+
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("compacted journal has %d lines, want 4:\n%s", len(lines), raw)
+	}
+	var prevHash string
+	for _, line := range lines {
+		var ent journalEntry
+		if err := json.Unmarshal(line, &ent); err != nil {
+			t.Fatalf("compacted line %q: %v", line, err)
+		}
+		if ent.Hash <= prevHash {
+			t.Fatalf("compacted journal not sorted by hash: %q after %q", ent.Hash, prevHash)
+		}
+		prevHash = ent.Hash
+	}
+
+	after, err := readJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("compaction changed the entry set: %d -> %d", len(before), len(after))
+	}
+	for h, want := range before {
+		got, ok := after[h]
+		if !ok {
+			t.Fatalf("compaction dropped hash %s", h)
+		}
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(want)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("compaction changed entry %s:\n%s\nvs\n%s", h, a, b)
+		}
+	}
+	if after[genHash(60)].Status != string(engine.StatusPanicked) {
+		t.Fatal("compaction lost the quarantine record")
+	}
+
+	// The compacted journal still resumes: seeds 50-52 skipped, 60
+	// refused, 53 analysed fresh.
+	rep := runJSON(t, "-gen", "4", "-gen-seed", "50", "-journal", journal, "-resume")
+	if rep.StatusCounts[statusSkippedResume] != 3 || rep.StatusCounts["ok"] != 1 {
+		t.Fatalf("resume after compaction: %+v", rep.StatusCounts)
+	}
+}
+
+func TestQssdCompactRequiresJournal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-compact"}, &buf); err == nil {
+		t.Fatal("-compact without -journal must error")
+	}
+}

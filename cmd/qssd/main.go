@@ -76,6 +76,10 @@ type batchReport struct {
 	// count.
 	GoMaxProcs int `json:"gomaxprocs"`
 	NumCPU     int `json:"num_cpu"`
+	// ParallelismWarning is set when the host gives the process a single
+	// scheduling slot (GOMAXPROCS=1): every parallel-speedup figure below
+	// is then bounded by 1.0 and says nothing about the engine.
+	ParallelismWarning string `json:"parallelism_warning,omitempty"`
 
 	// StatusCounts tallies per-net outcomes of the cold pass: "ok",
 	// "timeout", "panicked", "quarantined", "error", plus
@@ -131,6 +135,7 @@ func run(args []string, stdout io.Writer) error {
 	execTrace := fs.String("trace", "", "write a runtime/trace execution trace of the batch to this file")
 	journalPath := fs.String("journal", "", "append one JSON line per completed job to this file (crash-safe checkpoint)")
 	resume := fs.Bool("resume", false, "skip nets already journalled \"ok\" (requires -journal)")
+	compact := fs.Bool("compact", false, "rewrite -journal to one line per canonical hash (later entries win) and exit")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-net analysis deadline (0 = none)")
 	submitWindow := fs.Int("submit-window", 0, "max jobs in flight at once (0 = 2x workers)")
 	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
@@ -142,6 +147,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("-resume requires -journal")
+	}
+	if *compact {
+		if *journalPath == "" {
+			return fmt.Errorf("-compact requires -journal")
+		}
+		before, after, err := compactJournal(*journalPath)
+		if err != nil {
+			return fmt.Errorf("compacting journal: %w", err)
+		}
+		fmt.Fprintf(stdout, "compacted %s: %d lines -> %d entries\n", *journalPath, before, after)
+		return nil
 	}
 
 	sources, nets, err := loadCorpus(*manifest, fs.Args(), *gen, *genSeed)
@@ -284,6 +300,9 @@ func run(args []string, stdout io.Writer) error {
 		ElapsedMS:     msOf(cold + warm),
 		Stats:         snap,
 		Results:       final,
+	}
+	if rep.GoMaxProcs == 1 {
+		rep.ParallelismWarning = "GOMAXPROCS=1: workers cannot run in parallel; speedup figures are hardware-bound at ~1.0"
 	}
 	if cold > 0 {
 		rep.ColdNetsPerSec = float64(len(todo)) / cold.Seconds()

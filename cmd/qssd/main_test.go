@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -114,5 +115,25 @@ func TestQssdPositionalFilesAndOutput(t *testing.T) {
 	}
 	if rep.Nets != 2 || rep.Results[1].Report.Name == "" {
 		t.Fatalf("bad report: %+v", rep)
+	}
+}
+
+// TestQssdParallelismWarning pins the report's GOMAXPROCS=1 warning: set
+// when the process has a single scheduling slot, absent otherwise.
+func TestQssdParallelismWarning(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	rep := runJSON(t, "-gen", "1", "-gen-seed", "70")
+	if rep.GoMaxProcs != 1 || rep.ParallelismWarning == "" {
+		t.Fatalf("GOMAXPROCS=1 run must warn: gomaxprocs=%d warning=%q",
+			rep.GoMaxProcs, rep.ParallelismWarning)
+	}
+
+	runtime.GOMAXPROCS(2)
+	rep = runJSON(t, "-gen", "1", "-gen-seed", "70")
+	if rep.GoMaxProcs != 2 || rep.ParallelismWarning != "" {
+		t.Fatalf("GOMAXPROCS=2 run must not warn: gomaxprocs=%d warning=%q",
+			rep.GoMaxProcs, rep.ParallelismWarning)
 	}
 }

@@ -460,7 +460,7 @@ type cachedCycle struct {
 // warm path, or a caller without the set — falls back to the
 // self-contained computation.
 func (e *Engine) schedule(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm, reds []*core.Reduction, tr *trace.Tracer) (*core.Schedule, error) {
-	v, err := e.cache.getOrCompute("sched:"+cf.Hash, func() (any, error) {
+	v, err := e.cache.getOrCompute(schedKey(cf.Hash), func() (any, error) {
 		var s *core.Schedule
 		var err error
 		if reds != nil && !e.cfg.Core.KeepDuplicateReductions {
@@ -471,12 +471,20 @@ func (e *Engine) schedule(ctx context.Context, n *petri.Net, cf *petri.Canonical
 		if err != nil {
 			return nil, err
 		}
-		return toCachedSchedule(cf, s), nil
+		enc := encodeSchedule(toCachedSchedule(cf, s))
+		tr.Add("cache/sched/bytes", int64(len(enc)))
+		return enc, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return rebuildSchedule(n, cf, v.(*cachedSchedule), reds)
+	// Hit and miss alike rebuild from the decoded wire payload, so a cold
+	// result can never differ from a warm one by construction.
+	cs, err := decodeSchedule(v.([]byte))
+	if err != nil {
+		return nil, err
+	}
+	return rebuildSchedule(n, cf, cs, reds)
 }
 
 func toCachedSchedule(cf *petri.CanonicalForm, s *core.Schedule) *cachedSchedule {

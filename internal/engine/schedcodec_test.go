@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fcpn/internal/engine/stats"
+	"fcpn/internal/trace"
+)
+
+func TestSchedCodecRoundTrip(t *testing.T) {
+	cases := []*cachedSchedule{
+		{cycles: []cachedCycle{}},
+		{cycles: []cachedCycle{{seq: []int{0, 3, 3, 7}, choices: [][2]int{{1, 3}, {4, 7}}}}},
+		{cycles: []cachedCycle{
+			{seq: []int{2, 2, 2, 5}},
+			{seq: []int{0, 9, 0, 9, 9}, choices: [][2]int{{0, 9}}},
+		}},
+		// A chosen transition outside the firing sequence still round-trips.
+		{cycles: []cachedCycle{{seq: []int{4}, choices: [][2]int{{2, 11}}}}},
+	}
+	for i, cs := range cases {
+		got, err := decodeSchedule(encodeSchedule(cs))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, cs) {
+			t.Fatalf("case %d: round trip\n got %+v\nwant %+v", i, got, cs)
+		}
+	}
+}
+
+func TestSchedCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		cs := &cachedSchedule{cycles: make([]cachedCycle, rng.Intn(5))}
+		for i := range cs.cycles {
+			kept := rng.Perm(40)[:rng.Intn(8)+1]
+			cc := cachedCycle{seq: make([]int, rng.Intn(30))}
+			for j := range cc.seq {
+				cc.seq[j] = kept[rng.Intn(len(kept))]
+			}
+			places := rng.Perm(40)[:rng.Intn(4)]
+			sort.Ints(places)
+			for _, p := range places {
+				cc.choices = append(cc.choices, [2]int{p, kept[rng.Intn(len(kept))]})
+			}
+			cs.cycles[i] = cc
+		}
+		got, err := decodeSchedule(encodeSchedule(cs))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, cs) {
+			t.Fatalf("trial %d: round trip\n got %+v\nwant %+v", trial, got, cs)
+		}
+	}
+}
+
+func TestSchedCodecRejectsBadPayloads(t *testing.T) {
+	good := encodeSchedule(&cachedSchedule{cycles: []cachedCycle{
+		{seq: []int{1, 4, 1}, choices: [][2]int{{0, 4}}},
+	}})
+	if _, err := decodeSchedule(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = schedCacheVersion + 1
+	if _, err := decodeSchedule(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := decodeSchedule(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeSchedule(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestSchedKeyStaysInSchedLayer pins the versioned key to the "sched"
+// layer prefix: the cache derives its per-layer counters from everything
+// before the first ':', so the version segment must come after it.
+func TestSchedKeyStaysInSchedLayer(t *testing.T) {
+	tr := trace.New()
+	c := newCache(4, &stats.Counters{}, tr)
+	if _, err := c.getOrCompute(schedKey("abc"), func() (any, error) { return []byte{1}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Report().Counter("cache/sched/miss"); got != 1 {
+		t.Fatalf("cache/sched/miss = %d, want 1", got)
+	}
+}

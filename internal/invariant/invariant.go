@@ -107,7 +107,7 @@ func TInvariants(n *petri.Net, opt Options) ([]TInvariant, error) {
 		}
 	}
 	sp := opt.Trace.StartDetail("invariant/farkas")
-	vecs, ok := linalg.MinimalSemiflows(a, opt.MaxRows)
+	vecs, ok := linalg.MinimalSemiflowsTraced(a, opt.MaxRows, opt.Trace)
 	sp.End()
 	if !ok {
 		return nil, ErrTooComplex
@@ -136,7 +136,7 @@ func PInvariants(n *petri.Net, opt Options) ([]PInvariant, error) {
 		}
 	}
 	sp := opt.Trace.StartDetail("invariant/farkas")
-	vecs, ok := linalg.MinimalSemiflows(a, opt.MaxRows)
+	vecs, ok := linalg.MinimalSemiflowsTraced(a, opt.MaxRows, opt.Trace)
 	sp.End()
 	if !ok {
 		return nil, ErrTooComplex

@@ -1,6 +1,10 @@
 package linalg
 
-import "math/big"
+import (
+	"math/big"
+
+	"fcpn/internal/trace"
+)
 
 // MinimalSemiflows computes the set of minimal-support non-negative integer
 // solutions x of A·x = 0, where A is given row-wise (each row is one
@@ -22,25 +26,43 @@ import "math/big"
 // maxRows caps the intermediate row count; when exceeded the function
 // returns nil and false. Pass 0 for the default cap (100000).
 //
-// Arithmetic runs on an overflow-checked int64 fast path
-// (minimalSemiflowsInt, farkas_int.go) whenever every intermediate stays
-// small, falling back to this exact big.Int implementation otherwise.
-// Phase traces showed the big.Int path spending roughly half its cycles
-// in allocation and GC; practical nets never leave the int64 range, so
-// the fast path is the common case and the big path the safety net. Both
-// paths run the identical elimination/pruning sequence, so the output —
+// Arithmetic runs on a two-tier machine-integer ladder (farkas_int.go):
+// an overflow-checked int64 tier, then an int64-rows/128-bit-combination
+// tier, then this exact big.Int implementation as the safety net. Phase
+// traces showed the big.Int path spending roughly half its cycles in
+// allocation and GC; practical nets never leave the machine-integer
+// range, so the ladder's lower tiers are the common case. Every tier
+// runs the identical elimination/pruning sequence, so the output —
 // values and order — is the same whichever executes.
 func MinimalSemiflows(a *Mat, maxRows int) ([]Vec, bool) {
+	return MinimalSemiflowsTraced(a, maxRows, nil)
+}
+
+// MinimalSemiflowsTraced is MinimalSemiflows with tier-residency tracing:
+// each ladder tier that runs records one "linalg/int64", "linalg/int128"
+// or "linalg/bigint" detail span, so qssd reports (and the phasegate
+// baseline) show how much of the exact-arithmetic hot path stays on
+// machine integers. A nil tracer disables collection.
+func MinimalSemiflowsTraced(a *Mat, maxRows int, tr *trace.Tracer) ([]Vec, bool) {
 	if maxRows <= 0 {
 		maxRows = 100000
 	}
-	if out, capped, ok := minimalSemiflowsInt(a, maxRows); ok {
-		if capped {
-			return nil, false
-		}
-		return out, true
+	sp := tr.StartDetail("linalg/int64")
+	out, capped, ok := minimalSemiflowsInt(a, maxRows)
+	sp.End()
+	if ok {
+		return out, !capped
 	}
-	return minimalSemiflowsBig(a, maxRows)
+	sp = tr.StartDetail("linalg/int128")
+	out, capped, ok = minimalSemiflowsInt128(a, maxRows)
+	sp.End()
+	if ok {
+		return out, !capped
+	}
+	sp = tr.StartDetail("linalg/bigint")
+	res, okBig := minimalSemiflowsBig(a, maxRows)
+	sp.End()
+	return res, okBig
 }
 
 func minimalSemiflowsBig(a *Mat, maxRows int) ([]Vec, bool) {

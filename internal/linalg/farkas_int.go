@@ -2,36 +2,69 @@ package linalg
 
 import "math/big"
 
-// intLimit bounds every intermediate entry on the int64 Farkas fast
-// path. Combination coefficients and entries are all ≤ intLimit, so a
-// combined entry is at most 2·intLimit² < 2⁶² and the arithmetic below
-// cannot wrap; any row that exceeds the limit after GCD normalisation
-// aborts the fast path instead.
-const intLimit = int64(1) << 30
+// Machine-integer tiers of the Farkas ladder (see MinimalSemiflows).
+// Both tiers run the identical elimination and support-pruning sequence
+// as minimalSemiflowsBig on rows of plain int64 entries; they differ only
+// in how wide the annihilation arithmetic is and how large an entry may
+// grow before the tier gives up:
+//
+//   - the int64 tier bounds entries by intLimit = 2³⁰, so a combination
+//     cp·x + cn·y stays below 2⁶¹ and native arithmetic cannot wrap;
+//   - the int128 tier bounds entries by int128Limit = 2⁶², computing
+//     combinations in 128-bit two-word arithmetic (math/bits.Mul64 /
+//     Add64, int128.go) and refitting each GCD-normalised entry back
+//     into an int64.
+//
+// A tier that sees an input or intermediate beyond its bound aborts and
+// the caller escalates: int64 → int128 → big.Int. Because every tier
+// performs the same combinations in the same order, prunes the same rows
+// and normalises by the same GCDs, whichever tier completes returns
+// exactly the rows — same values, same order — the big.Int path would.
+const (
+	intLimit    = int64(1) << 30
+	int128Limit = int64(1) << 62
+)
 
-// minimalSemiflowsInt is the int64 fast path of MinimalSemiflows: the
-// identical Farkas elimination and support-pruning sequence as
-// minimalSemiflowsBig, on overflow-checked machine integers and with
-// right-support bitsets replacing the O(width) support scans of the
-// pruning step.
+// intRow is one working row of a machine-integer tier: the remaining
+// equation values (left), the non-negative unit-vector combination
+// producing them (right), and a bitset over right's support replacing
+// the O(width) support scans of the pruning step.
+type intRow struct {
+	left  []int64
+	right []int64
+	mask  []uint64
+}
+
+// combineFunc builds the annihilating combination cp·rp + cn·rn,
+// GCD-normalises it, and reports ok=false when any entry leaves the
+// tier's safe range.
+type combineFunc func(cp, cn int64, rp, rn *intRow) (left, right []int64, ok bool)
+
+// minimalSemiflowsInt is the int64 tier: native arithmetic, entries
+// bounded by intLimit.
+func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
+	return minimalSemiflowsMachine(a, maxRows, intLimit, combine64)
+}
+
+// minimalSemiflowsInt128 is the middle tier: entries bounded by
+// int128Limit, combinations computed in 128-bit arithmetic.
+func minimalSemiflowsInt128(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
+	return minimalSemiflowsMachine(a, maxRows, int128Limit, combine128)
+}
+
+// minimalSemiflowsMachine is the tier-generic Farkas driver: the
+// identical elimination and support-pruning sequence as
+// minimalSemiflowsBig, on machine-integer rows with the tier's
+// combination step.
 //
 // Returns (result, capped, ok). ok=false means an input or intermediate
-// left the safe range and the caller must rerun on the big.Int path;
-// capped=true (with ok=true) is the authoritative "maxRows exceeded"
-// verdict. Because both paths perform the same combinations in the same
-// order, prune the same rows, and normalise by the same GCDs, a run that
-// stays in range returns exactly the rows — same values, same order —
-// the big path would.
-func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
+// left the tier's safe range and the caller must escalate; capped=true
+// (with ok=true) is the authoritative "maxRows exceeded" verdict.
+func minimalSemiflowsMachine(a *Mat, maxRows int, limit int64, combine combineFunc) (out []Vec, capped, ok bool) {
 	numEq := a.Rows
 	numVar := a.Cols
 	words := (numVar + 63) / 64
 
-	type irow struct {
-		left  []int64
-		right []int64
-		mask  []uint64 // bitset over right's support
-	}
 	newMask := func(right []int64) []uint64 {
 		m := make([]uint64, words)
 		for i, v := range right {
@@ -42,7 +75,7 @@ func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
 		return m
 	}
 
-	rows := make([]irow, numVar)
+	rows := make([]intRow, numVar)
 	for v := 0; v < numVar; v++ {
 		left := make([]int64, numEq)
 		for e := 0; e < numEq; e++ {
@@ -51,13 +84,13 @@ func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
 				return nil, false, false
 			}
 			left[e] = x.Int64()
-			if left[e] > intLimit || left[e] < -intLimit {
+			if left[e] > limit || left[e] < -limit {
 				return nil, false, false
 			}
 		}
 		right := make([]int64, numVar)
 		right[v] = 1
-		rows[v] = irow{left, right, newMask(right)}
+		rows[v] = intRow{left, right, newMask(right)}
 	}
 
 	// maskContains reports small's support ⊆ big's support.
@@ -70,8 +103,8 @@ func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
 		return true
 	}
 
-	prune := func(rs []irow) []irow {
-		var keep []irow
+	prune := func(rs []intRow) []intRow {
+		var keep []intRow
 		for i := range rs {
 			minimal := true
 			for j := range rs {
@@ -97,7 +130,7 @@ func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
 	}
 
 	for e := 0; e < numEq; e++ {
-		var zero, pos, neg []irow
+		var zero, pos, neg []intRow
 		for _, r := range rows {
 			switch {
 			case r.left[e] == 0:
@@ -109,8 +142,9 @@ func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
 			}
 		}
 		next := zero
-		for _, rp := range pos {
-			for _, rn := range neg {
+		for pi := range pos {
+			for ni := range neg {
+				rp, rn := &pos[pi], &neg[ni]
 				cp := rn.left[e]
 				if cp < 0 {
 					cp = -cp
@@ -119,40 +153,11 @@ func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
 				if cn < 0 {
 					cn = -cn
 				}
-				left := make([]int64, numEq)
-				for i := range left {
-					left[i] = cp*rp.left[i] + cn*rn.left[i]
+				left, right, okc := combine(cp, cn, rp, rn)
+				if !okc {
+					return nil, false, false
 				}
-				right := make([]int64, numVar)
-				for i := range right {
-					right[i] = cp*rp.right[i] + cn*rn.right[i]
-				}
-				var g int64
-				for _, x := range left {
-					g = gcd64(g, x)
-				}
-				for _, x := range right {
-					g = gcd64(g, x)
-				}
-				if g > 1 {
-					for i := range left {
-						left[i] /= g
-					}
-					for i := range right {
-						right[i] /= g
-					}
-				}
-				for _, x := range left {
-					if x > intLimit || x < -intLimit {
-						return nil, false, false
-					}
-				}
-				for _, x := range right {
-					if x > intLimit || x < -intLimit {
-						return nil, false, false
-					}
-				}
-				next = append(next, irow{left, right, newMask(right)})
+				next = append(next, intRow{left, right, newMask(right)})
 				if len(next) > maxRows {
 					return nil, true, true
 				}
@@ -189,6 +194,105 @@ func minimalSemiflowsInt(a *Mat, maxRows int) (out []Vec, capped, ok bool) {
 		out = append(out, v)
 	}
 	return out, false, true
+}
+
+// combine64 is the int64 tier's annihilation step. Coefficients and
+// entries are ≤ intLimit, so a combined entry is at most 2·intLimit²
+// < 2⁶² and the arithmetic cannot wrap; any entry beyond intLimit after
+// GCD normalisation aborts the tier.
+func combine64(cp, cn int64, rp, rn *intRow) ([]int64, []int64, bool) {
+	left := make([]int64, len(rp.left))
+	for i := range left {
+		left[i] = cp*rp.left[i] + cn*rn.left[i]
+	}
+	right := make([]int64, len(rp.right))
+	for i := range right {
+		right[i] = cp*rp.right[i] + cn*rn.right[i]
+	}
+	var g int64
+	for _, x := range left {
+		g = gcd64(g, x)
+	}
+	for _, x := range right {
+		g = gcd64(g, x)
+	}
+	if g > 1 {
+		for i := range left {
+			left[i] /= g
+		}
+		for i := range right {
+			right[i] /= g
+		}
+	}
+	for _, x := range left {
+		if x > intLimit || x < -intLimit {
+			return nil, nil, false
+		}
+	}
+	for _, x := range right {
+		if x > intLimit || x < -intLimit {
+			return nil, nil, false
+		}
+	}
+	return left, right, true
+}
+
+// combine128 is the int128 tier's annihilation step: coefficients and
+// entries are ≤ int128Limit = 2⁶², so each product is below 2¹²⁴ and the
+// two-term sum below 2¹²⁵ — exact in signed 128-bit arithmetic. The row
+// GCD runs as binary GCD on 128-bit magnitudes; after normalisation each
+// entry must refit into [−int128Limit, int128Limit] or the tier aborts.
+func combine128(cp, cn int64, rp, rn *intRow) ([]int64, []int64, bool) {
+	numEq, numVar := len(rp.left), len(rp.right)
+	wide := make([]i128, numEq+numVar)
+	var g u128
+	for i := 0; i < numEq; i++ {
+		v := mul64(cp, rp.left[i]).add(mul64(cn, rn.left[i]))
+		wide[i] = v
+		g = gcd128(g, v.abs())
+	}
+	for i := 0; i < numVar; i++ {
+		v := mul64(cp, rp.right[i]).add(mul64(cn, rn.right[i]))
+		wide[numEq+i] = v
+		g = gcd128(g, v.abs())
+	}
+	divide := !g.isZero() && !g.isOne()
+	if divide && g.hi != 0 {
+		// The row's common divisor itself exceeds 64 bits; every entry is
+		// astronomically large, so hand the whole system to big.Int.
+		return nil, nil, false
+	}
+	narrow := func(v i128) (int64, bool) {
+		q := v.abs()
+		if divide {
+			q = q.div64(g.lo)
+		}
+		if q.hi != 0 || q.lo > uint64(int128Limit) {
+			return 0, false
+		}
+		x := int64(q.lo)
+		if v.sign() < 0 {
+			x = -x
+		}
+		return x, true
+	}
+	left := make([]int64, numEq)
+	for i := 0; i < numEq; i++ {
+		x, ok := narrow(wide[i])
+		if !ok {
+			return nil, nil, false
+		}
+		left[i] = x
+	}
+	right := make([]int64, numVar)
+	for i := 0; i < numVar; i++ {
+		x, ok := narrow(wide[numEq+i])
+		if !ok {
+			return nil, nil, false
+		}
+		right[i] = x
+	}
+	return left, right, true
 }
 
 // gcd64 folds |x| into the running non-negative GCD g (g=0 is the

@@ -1,0 +1,171 @@
+package linalg
+
+import "math/bits"
+
+// 128-bit integer arithmetic for the middle tier of the exact-arithmetic
+// ladder (see farkas.go). The Farkas and Bareiss annihilation steps form
+// cp·x + cn·y with |cp|, |cn|, |x|, |y| ≤ 2⁶²: each product is below
+// 2¹²⁴ and the two-term sum below 2¹²⁵, so a signed 128-bit accumulator
+// never wraps. Only the handful of operations those steps need are
+// implemented — widening multiply, add/negate, binary GCD, and division
+// by a 64-bit divisor to refit normalised entries into machine words.
+
+// i128 is a signed 128-bit integer in two's complement: hi carries the
+// sign, lo the low 64 bits.
+type i128 struct {
+	hi int64
+	lo uint64
+}
+
+// u128 is an unsigned 128-bit magnitude (the GCD domain).
+type u128 struct {
+	hi, lo uint64
+}
+
+// mul64 returns the full signed 128-bit product a·b. Callers guarantee
+// |a|, |b| ≤ 2⁶², so the magnitudes fit uint64 and the product fits i128.
+func mul64(a, b int64) i128 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := bits.Mul64(ua, ub)
+	v := i128{hi: int64(hi), lo: lo}
+	if neg {
+		v = v.neg()
+	}
+	return v
+}
+
+// add returns x + y in two's complement.
+func (x i128) add(y i128) i128 {
+	lo, carry := bits.Add64(x.lo, y.lo, 0)
+	return i128{hi: x.hi + y.hi + int64(carry), lo: lo}
+}
+
+// neg returns -x.
+func (x i128) neg() i128 {
+	lo, borrow := bits.Sub64(0, x.lo, 0)
+	return i128{hi: -x.hi - int64(borrow), lo: lo}
+}
+
+// sign returns -1, 0 or +1.
+func (x i128) sign() int {
+	switch {
+	case x.hi < 0:
+		return -1
+	case x.hi == 0 && x.lo == 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// abs returns |x| as an unsigned magnitude.
+func (x i128) abs() u128 {
+	if x.hi < 0 {
+		x = x.neg()
+	}
+	return u128{hi: uint64(x.hi), lo: x.lo}
+}
+
+func (x u128) isZero() bool { return x.hi == 0 && x.lo == 0 }
+
+// isOne reports x == 1.
+func (x u128) isOne() bool { return x.hi == 0 && x.lo == 1 }
+
+// cmp returns -1, 0 or +1 comparing x to y.
+func (x u128) cmp(y u128) int {
+	switch {
+	case x.hi != y.hi:
+		if x.hi < y.hi {
+			return -1
+		}
+		return 1
+	case x.lo != y.lo:
+		if x.lo < y.lo {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sub returns x - y; callers guarantee x ≥ y.
+func (x u128) sub(y u128) u128 {
+	lo, borrow := bits.Sub64(x.lo, y.lo, 0)
+	return u128{hi: x.hi - y.hi - borrow, lo: lo}
+}
+
+// rsh returns x >> n for 0 ≤ n < 128.
+func (x u128) rsh(n uint) u128 {
+	switch {
+	case n == 0:
+		return x
+	case n < 64:
+		return u128{hi: x.hi >> n, lo: x.lo>>n | x.hi<<(64-n)}
+	default:
+		return u128{hi: 0, lo: x.hi >> (n - 64)}
+	}
+}
+
+// lsh returns x << n for 0 ≤ n < 128.
+func (x u128) lsh(n uint) u128 {
+	switch {
+	case n == 0:
+		return x
+	case n < 64:
+		return u128{hi: x.hi<<n | x.lo>>(64-n), lo: x.lo << n}
+	default:
+		return u128{hi: x.lo << (n - 64), lo: 0}
+	}
+}
+
+// trailingZeros returns the number of trailing zero bits (128 for zero).
+func (x u128) trailingZeros() uint {
+	if x.lo != 0 {
+		return uint(bits.TrailingZeros64(x.lo))
+	}
+	return 64 + uint(bits.TrailingZeros64(x.hi))
+}
+
+// div64 returns x / d for a non-zero 64-bit divisor (full 128-bit
+// quotient; remainder discarded — callers divide by an exact GCD).
+func (x u128) div64(d uint64) u128 {
+	qhi := x.hi / d
+	rem := x.hi % d
+	qlo, _ := bits.Div64(rem, x.lo, d)
+	return u128{hi: qhi, lo: qlo}
+}
+
+// gcd128 is Stein's binary GCD on 128-bit magnitudes: shifts, compares
+// and subtractions only, so no 128-by-128 division is ever needed.
+func gcd128(a, b u128) u128 {
+	if a.isZero() {
+		return b
+	}
+	if b.isZero() {
+		return a
+	}
+	az, bz := a.trailingZeros(), b.trailingZeros()
+	shift := az
+	if bz < shift {
+		shift = bz
+	}
+	a = a.rsh(az)
+	for {
+		b = b.rsh(b.trailingZeros())
+		if a.cmp(b) > 0 {
+			a, b = b, a
+		}
+		b = b.sub(a)
+		if b.isZero() {
+			return a.lsh(shift)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// big128 converts an i128 to the reference big.Int value.
+func big128(x i128) *big.Int {
+	v := new(big.Int).SetInt64(x.hi)
+	v.Lsh(v, 64)
+	return v.Add(v, new(big.Int).SetUint64(x.lo))
+}
+
+func bigU128(x u128) *big.Int {
+	v := new(big.Int).SetUint64(x.hi)
+	v.Lsh(v, 64)
+	return v.Add(v, new(big.Int).SetUint64(x.lo))
+}
+
+// randInt64 draws values across the whole ladder range, including the
+// extremes that stress carries and sign handling.
+func randInt64(rng *rand.Rand) int64 {
+	v := rng.Int63n(int128Limit)
+	if rng.Intn(2) == 0 {
+		v = -v
+	}
+	switch rng.Intn(8) {
+	case 0:
+		v = 0
+	case 1:
+		v = int128Limit
+	case 2:
+		v = -int128Limit
+	}
+	return v
+}
+
+// TestI128ArithmeticMatchesBig is the exactness contract of the 128-bit
+// tier's building blocks: mul64, add, neg, abs, gcd128 and div64 must
+// agree with math/big on values across the tier's full range.
+func TestI128ArithmeticMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randInt64(rng), randInt64(rng)
+		c, d := randInt64(rng), randInt64(rng)
+
+		// s = a·b + c·d, the exact shape of one annihilation term.
+		s := mul64(a, b).add(mul64(c, d))
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		want.Add(want, new(big.Int).Mul(big.NewInt(c), big.NewInt(d)))
+		if big128(s).Cmp(want) != 0 {
+			t.Fatalf("trial %d: %d*%d + %d*%d = %s, want %s", trial, a, b, c, d, big128(s), want)
+		}
+		if got, want := s.sign(), want.Sign(); got != want {
+			t.Fatalf("trial %d: sign = %d, want %d", trial, got, want)
+		}
+		if bigU128(s.abs()).Cmp(new(big.Int).Abs(want)) != 0 {
+			t.Fatalf("trial %d: abs mismatch", trial)
+		}
+
+		// GCD of two magnitudes.
+		t2 := mul64(c, d)
+		g := gcd128(s.abs(), t2.abs())
+		wantG := new(big.Int).GCD(nil, nil, new(big.Int).Abs(want), new(big.Int).Abs(big128(t2)))
+		if bigU128(g).Cmp(wantG) != 0 {
+			t.Fatalf("trial %d: gcd = %s, want %s", trial, bigU128(g), wantG)
+		}
+
+		// Division by an exact 64-bit divisor.
+		if !g.isZero() && g.hi == 0 && g.lo > 1 {
+			q := s.abs().div64(g.lo)
+			wantQ := new(big.Int).Quo(new(big.Int).Abs(want), wantG)
+			if bigU128(q).Cmp(wantQ) != 0 {
+				t.Fatalf("trial %d: div64 = %s, want %s", trial, bigU128(q), wantQ)
+			}
+		}
+	}
+}
+
+// TestU128Shifts checks rsh/lsh/trailingZeros round the 64-bit word
+// boundary.
+func TestU128Shifts(t *testing.T) {
+	x := u128{hi: 0x8000_0000_0000_0001, lo: 0x8000_0000_0000_0000}
+	if got := x.trailingZeros(); got != 63 {
+		t.Fatalf("trailingZeros = %d, want 63", got)
+	}
+	for _, n := range []uint{0, 1, 63, 64, 65, 127} {
+		want := new(big.Int).Rsh(bigU128(x), n)
+		if bigU128(x.rsh(n)).Cmp(want) != 0 {
+			t.Fatalf("rsh(%d) = %s, want %s", n, bigU128(x.rsh(n)), want)
+		}
+	}
+	y := u128{hi: 0, lo: 0x9}
+	mask := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1))
+	for _, n := range []uint{0, 1, 63, 64, 65, 124} {
+		want := new(big.Int).And(new(big.Int).Lsh(bigU128(y), n), mask)
+		if bigU128(y.lsh(n)).Cmp(want) != 0 {
+			t.Fatalf("lsh(%d) = %s, want %s", n, bigU128(y.lsh(n)), want)
+		}
+	}
+	if got := (u128{}).trailingZeros(); got != 128 {
+		t.Fatalf("trailingZeros(0) = %d, want 128", got)
+	}
+}

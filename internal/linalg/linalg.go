@@ -4,8 +4,12 @@
 // solutions of A·x = 0 (semiflows), and Gaussian elimination over the
 // rationals for rank computations.
 //
-// All arithmetic uses math/big so that invariant computation never
-// overflows, no matter how unbalanced the arc weights are.
+// Arithmetic is exact at every size: the Farkas enumeration and the rank
+// computation run on a two-tier machine-integer ladder (overflow-checked
+// int64, then 128-bit two-word arithmetic via math/bits) and escalate to
+// math/big only when an intermediate genuinely outgrows 2⁶², so invariant
+// computation never overflows no matter how unbalanced the arc weights
+// are — and never allocates big.Ints for the nets that don't need them.
 package linalg
 
 import (

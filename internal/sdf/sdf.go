@@ -17,6 +17,7 @@ import (
 
 	"fcpn/internal/linalg"
 	"fcpn/internal/petri"
+	"fcpn/internal/trace"
 )
 
 // Actor is an SDF computation node.
@@ -73,7 +74,13 @@ var ErrDeadlock = errors.New("sdf: deadlock, insufficient initial tokens")
 // q[from]·produce = q[to]·consume for every channel and returns the
 // smallest positive integer solution. Disconnected graphs are handled per
 // weakly-connected component (each normalised independently).
-func (g *Graph) RepetitionVector() ([]int, error) {
+func (g *Graph) RepetitionVector() ([]int, error) { return g.RepetitionVectorTraced(nil) }
+
+// RepetitionVectorTraced is RepetitionVector with the balance-equation
+// solve's exact-arithmetic tier residency recorded on tr (the
+// "linalg/int64|int128|bigint" detail phases); a nil tracer disables
+// collection.
+func (g *Graph) RepetitionVectorTraced(tr *trace.Tracer) ([]int, error) {
 	n := len(g.Actors)
 	if n == 0 {
 		return nil, nil
@@ -85,7 +92,7 @@ func (g *Graph) RepetitionVector() ([]int, error) {
 		a.Data[i][c.From].Add(a.Data[i][c.From], big.NewInt(int64(c.Produce)))
 		a.Data[i][c.To].Sub(a.Data[i][c.To], big.NewInt(int64(c.Consume)))
 	}
-	flows, ok := linalg.MinimalSemiflows(a, 0)
+	flows, ok := linalg.MinimalSemiflowsTraced(a, 0, tr)
 	if !ok {
 		return nil, errors.New("sdf: balance system too large")
 	}
