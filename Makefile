@@ -25,16 +25,18 @@ bench:
 bench-json:
 	rm -f BENCH_journal.jsonl
 	go run ./cmd/qssd -gen 50 -repeat 3 -workers 4 -compare-serial \
+		-mk 9,10 -margin \
 		-journal BENCH_journal.jsonl \
 		-o BENCH_engine.json examples/nets/*.pn
 	go run ./cmd/qssd -journal BENCH_journal.jsonl -compact
 	@grep -E '"(cold_nets_per_sec|warm_nets_per_sec|hit_rate|speedup|gomaxprocs)"' BENCH_engine.json
+	@grep -m1 -E '"(deadline|mk)"' BENCH_engine.json
 
 # Phase-regression gate (see docs/TRACING.md): run a small fixed traced
 # corpus and compare each phase's total time against the committed
 # BENCH_phases.json, failing on any >2x regression. phase-baseline
 # refreshes the committed baseline from the same corpus.
-PHASE_CORPUS = -gen 20 -gen-seed 1 -workers 4
+PHASE_CORPUS = -gen 20 -gen-seed 1 -workers 4 -mk 9,10 -margin
 phase-gate:
 	go run ./cmd/qssd $(PHASE_CORPUS) -o /tmp/phasegate_run.json
 	go run ./cmd/phasegate -report /tmp/phasegate_run.json -baseline BENCH_phases.json
@@ -51,6 +53,7 @@ fuzz:
 	go test -fuzz='FuzzParse$$' -fuzztime=30s ./internal/petri/
 	go test -fuzz='FuzzParsePN$$' -fuzztime=30s ./internal/petri/
 	go test -fuzz='FuzzFarkasLadder$$' -fuzztime=30s ./internal/linalg/
+	go test -fuzz='FuzzWeaklyHard$$' -fuzztime=30s ./internal/timing/
 
 examples:
 	go run ./examples/quickstart

@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"fcpn/internal/atm"
 	"fcpn/internal/rtos"
+	"fcpn/internal/sim"
+	"fcpn/internal/timing"
 )
 
 func main() {
@@ -49,8 +52,29 @@ func run(args []string, stdout io.Writer) error {
 	overrunPct := fs.Int("overrun-pct", 0, "with -faults: worst-case per-dispatch task overrun in percent")
 	stepBudget := fs.Int("step-budget", 0, "with -faults: interpreter step budget per scenario (0 = default)")
 	cyclesPerTick := fs.Int64("cycles-per-tick", 0, "with -faults: cycles per workload time unit (0 = default)")
+	mkFlag := fs.String("mk", "", "with -faults: weakly-hard (m,k) constraint per scenario, e.g. -mk 9,10")
+	marginFlag := fs.String("margin", "", "with -faults -mk: comma-separated overload kinds to margin-search (burst,jitter,drop,overrun)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var mk timing.Constraint
+	var marginKinds []sim.OverloadKind
+	if *mkFlag != "" {
+		var err error
+		if mk, err = timing.Parse(*mkFlag); err != nil {
+			return err
+		}
+		if *marginFlag != "" {
+			for _, name := range strings.Split(*marginFlag, ",") {
+				kind, err := sim.ParseOverloadKind(name)
+				if err != nil {
+					return err
+				}
+				marginKinds = append(marginKinds, kind)
+			}
+		}
+	} else if *marginFlag != "" {
+		return fmt.Errorf("-margin requires -mk")
 	}
 
 	wl := atm.DefaultWorkload()
@@ -79,6 +103,8 @@ func run(args []string, stdout io.Writer) error {
 			Deadline:      *deadline,
 			OverrunPct:    *overrunPct,
 			StepBudget:    *stepBudget,
+			MK:            mk,
+			MarginKinds:   marginKinds,
 		}, cost)
 		if err != nil {
 			return err

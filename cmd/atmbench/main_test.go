@@ -85,3 +85,43 @@ func TestRunFaultsBadPolicy(t *testing.T) {
 		t.Fatal("unknown policy not rejected")
 	}
 }
+
+// TestRunFaultsTimingSafety pins the -mk/-margin surface: the timing
+// section appears in the text report with per-scenario verdicts and one
+// margin line per kind, the JSON report carries the same numbers, and the
+// flag pairing is validated.
+func TestRunFaultsTimingSafety(t *testing.T) {
+	args := []string{"-faults", "-cells", "20", "-scenarios", "3",
+		"-mk", "8,10", "-margin", "burst,overrun"}
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"weakly-hard timing safety (8,10), deadline",
+		"margin burst:",
+		"margin overrun:",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+
+	var jsonOut strings.Builder
+	if err := run(append(args, "-json"), &jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"Timing"`, `"MK": "(8,10)"`, `"kind": "burst"`, `"kind": "overrun"`} {
+		if !strings.Contains(jsonOut.String(), frag) {
+			t.Fatalf("JSON missing %q:\n%s", frag, jsonOut.String())
+		}
+	}
+
+	if err := run([]string{"-faults", "-margin", "burst"}, &out); err == nil {
+		t.Fatal("-margin without -mk must error")
+	}
+	if err := run([]string{"-faults", "-mk", "11,10"}, &out); err == nil {
+		t.Fatal("-mk 11,10 must be rejected")
+	}
+}

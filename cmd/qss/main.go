@@ -33,6 +33,7 @@ import (
 	"fcpn/internal/fault"
 	"fcpn/internal/rtos"
 	"fcpn/internal/sim"
+	"fcpn/internal/timing"
 )
 
 func main() {
@@ -60,8 +61,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	guards := fs.Bool("guards", false, "with -c: emit runtime overflow checks against the static buffer bounds")
 	verifyBounds := fs.Bool("verify-bounds", false, "replay the schedule under seeded fault scenarios and check buffer bounds")
 	scenarios := fs.Int("scenarios", 10, "with -verify-bounds: number of seeded fault scenarios")
-	faultSeed := fs.Uint64("fault-seed", 0xFA117, "with -verify-bounds: scenario seed")
-	eventsPer := fs.Int("events", 50, "with -verify-bounds: workload events per source transition")
+	faultSeed := fs.Uint64("fault-seed", 0xFA117, "with -verify-bounds/-mk: scenario and injector seed")
+	eventsPer := fs.Int("events", 50, "with -verify-bounds/-mk: workload events per source transition")
+	mkFlag := fs.String("mk", "", "check the weakly-hard (m,k) deadline constraint, e.g. -mk 9,10")
+	marginFlag := fs.String("margin", "", "with -mk: comma-separated overload kinds to margin-search (burst,jitter,drop,overrun)")
+	deadlineFlag := fs.Int64("deadline", 0, "with -mk: per-event response budget in cycles (0 = calibrate to 2x nominal worst response)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	execTrace := fs.String("trace", "", "write a runtime/trace execution trace of the run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -113,7 +117,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	if !*emitC && !*emitH && !*showTasks && !*showBounds && !*explore && !*asJSON && !*showIR && !*showTree && !*treeDot && !*verifyBounds {
+	if !*emitC && !*emitH && !*showTasks && !*showBounds && !*explore && !*asJSON && !*showIR && !*showTree && !*treeDot && !*verifyBounds && *mkFlag == "" {
 		*showSchedule = true
 	}
 	if *emitH {
@@ -189,6 +193,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	}
+	if *mkFlag != "" {
+		if err := runTimingSafety(stdout, syn, *mkFlag, *marginFlag, *deadlineFlag, *faultSeed, *eventsPer); err != nil {
+			return err
+		}
+	}
 	if *emitC {
 		cfg := codegen.CConfig{Standalone: *standalone}
 		if *guards {
@@ -200,6 +209,78 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			cfg.Bounds = bounds
 		}
 		fmt.Fprint(stdout, codegen.EmitC(syn.Program, cfg))
+	}
+	return nil
+}
+
+// runTimingSafety replays the synthesised implementation against the
+// deterministic periodic workload (the -verify-bounds workload, fault
+// free), checks the deadline hit/miss stream against the weakly-hard
+// (m,k) constraint, and — when -margin lists overload kinds — binary
+// searches each kind's injector intensity for the harshest overload the
+// constraint survives. Exits non-zero when the nominal run violates the
+// constraint.
+func runTimingSafety(stdout io.Writer, syn *fcpn.Synthesis, mkStr, marginStr string, deadline int64, seed uint64, eventsPer int) error {
+	c, err := timing.Parse(mkStr)
+	if err != nil {
+		return err
+	}
+	net := syn.Net
+	sources := net.SourceTransitions()
+	if len(sources) == 0 {
+		fmt.Fprintln(stdout, "timing: net has no source transitions; nothing to replay")
+		return nil
+	}
+	if eventsPer <= 0 {
+		eventsPer = 50
+	}
+	var streams [][]rtos.Event
+	for i, src := range sources {
+		streams = append(streams, rtos.Periodic(src, int64(2*i+3), int64(i), eventsPer))
+	}
+	base := rtos.Merge(streams...)
+	cost := rtos.DefaultCostModel()
+	hooks := func() sim.Hooks {
+		return sim.Hooks{Resolver: sim.NewDecisionStream(net, seed).Resolver()}
+	}
+
+	if deadline == 0 {
+		deadline, err = sim.CalibrateDeadline(syn.Program, base, cost,
+			sim.RobustConfig{CyclesPerTick: 1}, hooks(), sim.DefaultDeadlineFactor)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "timing: deadline calibrated to %d cycles (%dx nominal worst response)\n",
+			deadline, sim.DefaultDeadlineFactor)
+	}
+	rm, err := sim.RunRobust(syn.Program, base, cost,
+		sim.RobustConfig{CyclesPerTick: 1, Deadline: deadline, MK: c}, hooks())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "timing: %s\n", rm.Timing)
+
+	if marginStr != "" {
+		for _, name := range strings.Split(marginStr, ",") {
+			kind, err := sim.ParseOverloadKind(name)
+			if err != nil {
+				return err
+			}
+			om, err := sim.SearchOverloadMargin(syn.Program, base, cost, sim.MarginConfig{
+				Kind:   kind,
+				MK:     c,
+				Seed:   seed,
+				Robust: sim.RobustConfig{CyclesPerTick: 1, Deadline: deadline},
+				Hooks:  hooks,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  margin %-8s %s\n", om.Kind+":", om.Result)
+		}
+	}
+	if !rm.Timing.Satisfied {
+		return fmt.Errorf("timing: weakly-hard constraint %s violated", c)
 	}
 	return nil
 }

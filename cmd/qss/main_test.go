@@ -236,3 +236,51 @@ func TestRunEmitCGuards(t *testing.T) {
 		t.Fatal("ungated overflow guard in plain C output")
 	}
 }
+
+// TestRunTimingSafety exercises -mk end to end: calibrated deadline,
+// satisfied verdict, per-kind margin lines, determinism across runs, and
+// a non-zero exit when the constraint cannot hold.
+func TestRunTimingSafety(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-mk", "9,10", "-margin", "burst,overrun", "-events", "30"}
+	if err := run(args, strings.NewReader(fig4), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"deadline calibrated to",
+		"timing: (9,10) satisfied over",
+		"margin burst:",
+		"margin overrun:",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+	var again strings.Builder
+	if err := run(args, strings.NewReader(fig4), &again); err != nil {
+		t.Fatal(err)
+	}
+	if got != again.String() {
+		t.Fatalf("timing run is not reproducible:\n%s\nvs\n%s", got, again.String())
+	}
+
+	// A 1-cycle budget misses every event: the verdict prints and the
+	// command exits non-zero.
+	var failed strings.Builder
+	err := run([]string{"-mk", "9,10", "-deadline", "1"}, strings.NewReader(fig4), &failed)
+	if err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Fatalf("1-cycle deadline must violate (9,10), got err=%v", err)
+	}
+	if !strings.Contains(failed.String(), "VIOLATED") {
+		t.Fatalf("violation verdict not printed:\n%s", failed.String())
+	}
+
+	// Bad inputs surface as flag errors.
+	if err := run([]string{"-mk", "12,4"}, strings.NewReader(fig4), &out); err == nil {
+		t.Fatal("-mk 12,4 must be rejected")
+	}
+	if err := run([]string{"-mk", "1,2", "-margin", "bogus"}, strings.NewReader(fig4), &out); err == nil {
+		t.Fatal("-margin bogus must be rejected")
+	}
+}

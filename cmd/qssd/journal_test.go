@@ -248,3 +248,61 @@ func TestQssdCompactRequiresJournal(t *testing.T) {
 		t.Fatal("-compact without -journal must error")
 	}
 }
+
+// TestQssdJournalRoundTripsTiming pins the tentpole's journal contract:
+// with -mk/-margin the journalled reports carry the timing verdict and
+// margins, -compact preserves them, and a -resume rehydrates them
+// byte-identically to a fresh analysis.
+func TestQssdJournalRoundTripsTiming(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	first := runJSON(t, "-gen", "2", "-gen-seed", "80", "-mk", "9,10", "-margin", "-journal", journal)
+	if first.StatusCounts["ok"] != 2 {
+		t.Fatalf("first run: %+v", first.StatusCounts)
+	}
+	for _, r := range first.Results {
+		tr := r.Report.Timing
+		if tr == nil || tr.Verdict == nil || len(tr.Margins) != 2 {
+			t.Fatalf("net %s: report missing timing verdict/margins: %+v", r.Source, tr)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-journal", journal, "-compact"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(80); seed < 82; seed++ {
+		ent := entries[genHash(seed)]
+		if ent.Report == nil || ent.Report.Timing == nil || ent.Report.Timing.Verdict == nil {
+			t.Fatalf("compacted journal lost timing for seed %d: %+v", seed, ent.Report)
+		}
+	}
+
+	resumed := runJSON(t, "-gen", "2", "-gen-seed", "80", "-mk", "9,10", "-margin", "-journal", journal, "-resume")
+	if resumed.StatusCounts[statusSkippedResume] != 2 || resumed.Jobs != 0 {
+		t.Fatalf("resume after compaction: %+v jobs=%d", resumed.StatusCounts, resumed.Jobs)
+	}
+	fresh := runJSON(t, "-gen", "2", "-gen-seed", "80", "-mk", "9,10", "-margin")
+	byHash := map[string][]byte{}
+	for _, r := range resumed.Results {
+		b, _ := json.Marshal(r.Report.Timing)
+		byHash[r.Report.Hash] = b
+	}
+	for _, r := range fresh.Results {
+		want, _ := json.Marshal(r.Report.Timing)
+		if got := byHash[r.Report.Hash]; !bytes.Equal(got, want) {
+			t.Errorf("rehydrated timing differs from fresh analysis for %s:\n%s\nvs\n%s",
+				r.Source, got, want)
+		}
+	}
+}
+
+func TestQssdMarginRequiresMK(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-margin", "-gen", "1"}, &buf); err == nil {
+		t.Fatal("-margin without -mk must error")
+	}
+}

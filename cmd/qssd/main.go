@@ -54,6 +54,7 @@ import (
 	"fcpn/internal/engine/stats"
 	"fcpn/internal/netgen"
 	"fcpn/internal/petri"
+	"fcpn/internal/timing"
 	"fcpn/internal/trace"
 )
 
@@ -138,6 +139,8 @@ func run(args []string, stdout io.Writer) error {
 	compact := fs.Bool("compact", false, "rewrite -journal to one line per canonical hash (later entries win) and exit")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-net analysis deadline (0 = none)")
 	submitWindow := fs.Int("submit-window", 0, "max jobs in flight at once (0 = 2x workers)")
+	mkFlag := fs.String("mk", "", "check each schedulable net against the weakly-hard (m,k) constraint, e.g. -mk 9,10")
+	marginFlag := fs.Bool("margin", false, "with -mk: search per-net overload margins (burst and overrun)")
 	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -198,6 +201,17 @@ func run(args []string, stdout io.Writer) error {
 		defer rtrace.Stop()
 	}
 
+	var topts engine.TimingOptions
+	if *mkFlag != "" {
+		c, err := timing.Parse(*mkFlag)
+		if err != nil {
+			return err
+		}
+		topts = engine.TimingOptions{MK: c, Margin: *marginFlag}
+	} else if *marginFlag {
+		return fmt.Errorf("-margin requires -mk")
+	}
+
 	// One engine for every pass; the cold pass runs alone so its timings
 	// are not diluted by cache-hit jobs (and its speedup is measured
 	// against real work).
@@ -205,6 +219,7 @@ func run(args []string, stdout io.Writer) error {
 		Workers:      *workers,
 		SubmitWindow: *submitWindow,
 		JobTimeout:   *jobTimeout,
+		Timing:       topts,
 	})
 
 	// Split the corpus against the journal: nets journalled "ok" are
@@ -316,7 +331,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *compareSerial {
-		se := engine.New(engine.Config{Workers: 1, JobTimeout: *jobTimeout})
+		se := engine.New(engine.Config{Workers: 1, JobTimeout: *jobTimeout, Timing: topts})
 		t0 := time.Now()
 		if _, err := se.AnalyzeBatch(todoNets); err != nil {
 			return err

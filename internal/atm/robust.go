@@ -10,6 +10,7 @@ import (
 	"fcpn/internal/fault"
 	"fcpn/internal/rtos"
 	"fcpn/internal/sim"
+	"fcpn/internal/timing"
 )
 
 // RobustnessConfig parameterises the ATM robustness experiment: the base
@@ -43,6 +44,14 @@ type RobustnessConfig struct {
 	OverrunPct int
 	// StepBudget caps interpreter ops per scenario (0 = package default).
 	StepBudget int
+	// MK, when enabled, checks each scenario's deadline hit/miss stream
+	// against the weakly-hard (m,k) constraint; a zero Deadline is then
+	// calibrated from the fault-free run (sim.DefaultDeadlineFactor x the
+	// nominal worst response).
+	MK timing.Constraint
+	// MarginKinds, with MK enabled, lists the overload kinds to
+	// binary-search for the harshest intensity the constraint survives.
+	MarginKinds []sim.OverloadKind
 }
 
 // ScenarioResult is one scenario's robustness measurements.
@@ -58,6 +67,17 @@ type ScenarioResult struct {
 	Violated  int // sound structural bounds exceeded (must be 0)
 	Backlog   int // per-cycle schedule bounds exceeded (overload signal)
 	Exhausted bool
+	// Timing is the scenario's weakly-hard verdict (nil unless cfg.MK).
+	Timing *timing.Verdict `json:",omitempty"`
+}
+
+// TimingSafety is the report's weakly-hard block: the constraint and
+// deadline the scenarios were judged against, plus one overload-margin
+// frontier per configured kind, searched on the fault-free testbench.
+type TimingSafety struct {
+	MK       string
+	Deadline int64
+	Margins  []*sim.OverloadMargin `json:",omitempty"`
 }
 
 // RobustnessReport is the deterministic outcome of RunRobustness: the same
@@ -66,6 +86,8 @@ type RobustnessReport struct {
 	Net       string
 	Queue     rtos.QueueConfig
 	Scenarios []ScenarioResult
+	// Timing is present when RobustnessConfig.MK was enabled.
+	Timing *TimingSafety `json:",omitempty"`
 }
 
 // Format renders the report as a fixed-width table.
@@ -85,6 +107,17 @@ func (r *RobustnessReport) Format() string {
 		}
 		fmt.Fprintf(&b, "  %-16s %#18x %8d %8d %8d %8d %8d %10s %8d\n",
 			s.Name, s.Seed, s.Injected, s.Served, s.Dropped+s.Rejected, s.Misses, s.MaxPeak, status, s.Backlog)
+	}
+	if r.Timing != nil {
+		fmt.Fprintf(&b, "\nweakly-hard timing safety %s, deadline %d cycles\n", r.Timing.MK, r.Timing.Deadline)
+		for _, s := range r.Scenarios {
+			if s.Timing != nil {
+				fmt.Fprintf(&b, "  %-16s %s\n", s.Name, s.Timing)
+			}
+		}
+		for _, om := range r.Timing.Margins {
+			fmt.Fprintf(&b, "  margin %-8s %s\n", om.Kind+":", om.Result)
+		}
 	}
 	return b.String()
 }
@@ -138,6 +171,35 @@ func RunRobustness(cfg RobustnessConfig, cost rtos.CostModel) (*RobustnessReport
 		Net:   m.Net.Name(),
 		Queue: rtos.QueueConfig{Capacity: cfg.QueueCapacity, Policy: cfg.Policy},
 	}
+	// hooks builds a fresh server+feeder per run: the margin search and
+	// the deadline calibration replay the testbench several times, and the
+	// cell pipeline's state must not leak between probes.
+	hooks := func() sim.Hooks {
+		w := NewWorkload(m, cfg.Workload)
+		server := NewServer(m, DefaultConfig())
+		return sim.Hooks{
+			Resolver:    server.Resolver(),
+			OnFire:      server.OnFire,
+			BeforeEvent: w.CellFeeder(m, server),
+		}
+	}
+	deadline := cfg.Deadline
+	if cfg.MK.Enabled() {
+		if err := cfg.MK.Validate(); err != nil {
+			return nil, fmt.Errorf("atm: %w", err)
+		}
+		if deadline == 0 {
+			nominal := NewWorkload(m, cfg.Workload).Events
+			deadline, err = sim.CalibrateDeadline(prog, nominal, cost, sim.RobustConfig{
+				CyclesPerTick: cfg.CyclesPerTick,
+				StepBudget:    cfg.StepBudget,
+			}, hooks(), sim.DefaultDeadlineFactor)
+			if err != nil {
+				return nil, fmt.Errorf("atm: calibrating deadline: %w", err)
+			}
+		}
+		report.Timing = &TimingSafety{MK: cfg.MK.String(), Deadline: deadline}
+	}
 	for _, sc := range scenarios {
 		w := NewWorkload(m, cfg.Workload)
 		events := sc.Apply(w.Events)
@@ -149,7 +211,8 @@ func RunRobustness(cfg RobustnessConfig, cost rtos.CostModel) (*RobustnessReport
 		rm, err := sim.RunRobust(prog, events, cost, sim.RobustConfig{
 			CyclesPerTick: cfg.CyclesPerTick,
 			Queue:         report.Queue,
-			Deadline:      cfg.Deadline,
+			Deadline:      deadline,
+			MK:            cfg.MK,
 			Jitter:        jitter,
 			StepBudget:    cfg.StepBudget,
 			Limits:        limits,
@@ -180,7 +243,29 @@ func RunRobustness(cfg RobustnessConfig, cost rtos.CostModel) (*RobustnessReport
 			Violated:  rm.BoundViolations,
 			Backlog:   len(rm.CycleExceedances),
 			Exhausted: rm.BudgetExhausted,
+			Timing:    rm.Timing,
 		})
+	}
+	if report.Timing != nil && len(cfg.MarginKinds) > 0 {
+		nominal := NewWorkload(m, cfg.Workload).Events
+		for _, kind := range cfg.MarginKinds {
+			om, err := sim.SearchOverloadMargin(prog, nominal, cost, sim.MarginConfig{
+				Kind: kind,
+				MK:   cfg.MK,
+				Seed: cfg.FaultSeed,
+				Robust: sim.RobustConfig{
+					CyclesPerTick: cfg.CyclesPerTick,
+					Queue:         report.Queue,
+					Deadline:      deadline,
+					StepBudget:    cfg.StepBudget,
+				},
+				Hooks: hooks,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("atm: margin %s: %w", kind, err)
+			}
+			report.Timing.Margins = append(report.Timing.Margins, om)
+		}
 	}
 	return report, nil
 }

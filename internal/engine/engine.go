@@ -64,6 +64,11 @@ type Config struct {
 	CacheCapacity int
 	// Core is the solver configuration applied to every job.
 	Core core.Options
+	// Timing, when enabled (Timing.MK set), appends a weakly-hard
+	// timing-safety verdict — and optionally overload margins — to every
+	// schedulable net's report (NetReport.Timing). Cached per canonical
+	// hash and option set, like every other analysis layer.
+	Timing TimingOptions
 
 	// SubmitWindow bounds how many AnalyzeEach/AnalyzeBatch jobs may be
 	// submitted but not yet finished (≤ 0 → 2×Workers). The window is
@@ -918,6 +923,7 @@ func (e *Engine) analyzeTraced(ctx context.Context, n *petri.Net, cf *petri.Cano
 			return rep, cerr
 		}
 		fail("tasks", err)
+		tp = nil
 	} else {
 		for _, task := range tp.Tasks {
 			rep.Tasks = append(rep.Tasks, TaskReport{
@@ -928,6 +934,17 @@ func (e *Engine) analyzeTraced(ctx context.Context, n *petri.Net, cf *petri.Cano
 		}
 	}
 	sp.End()
+
+	if e.cfg.Timing.Enabled() && tp != nil {
+		if cerr := ctxCause(ctx); cerr != nil {
+			return rep, cerr
+		}
+		if trep, err := e.timingPass(n, cf, sched, tp, tr); err != nil {
+			fail("timing", err)
+		} else {
+			rep.Timing = trep
+		}
+	}
 	return rep, nil
 }
 

@@ -54,6 +54,12 @@ type NetReport struct {
 	// Tasks is the minimum task partition.
 	Tasks []TaskReport `json:"tasks,omitempty"`
 
+	// Timing is the weakly-hard timing-safety result (verdict plus
+	// optional overload margins), present when the engine was configured
+	// with Config.Timing and the net is schedulable (cache layer: timing
+	// verdicts and margins).
+	Timing *TimingReport `json:"timing,omitempty"`
+
 	// Errors collects non-fatal analysis failures (e.g. a semiflow
 	// enumeration past its size cap); the remaining fields stay valid.
 	Errors []string `json:"errors,omitempty"`

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+	"fcpn/internal/sim"
+	"fcpn/internal/timing"
+)
+
+func timingConfig(workers int) Config {
+	return Config{
+		Workers: workers,
+		Timing: TimingOptions{
+			MK:     timing.Constraint{M: 9, K: 10},
+			Margin: true,
+		},
+	}
+}
+
+func timingJSON(t *testing.T, rep *NetReport) string {
+	t.Helper()
+	if rep.Timing == nil {
+		return ""
+	}
+	b, err := json.Marshal(rep.Timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestEngineTimingDeterminism is the PR's acceptance criterion at the
+// engine layer: timing verdicts and overload margins are byte-identical
+// between cold run, warm-cache run, and workers=1 vs a wide pool.
+func TestEngineTimingDeterminism(t *testing.T) {
+	var nets []*petri.Net
+	nets = append(nets, figures.Figure4(), figures.Figure5())
+	for seed := uint64(0); seed < 6; seed++ {
+		nets = append(nets, netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig()))
+	}
+	serial := New(timingConfig(1))
+	defer serial.Close()
+	wide := New(timingConfig(wideWorkers()))
+	defer wide.Close()
+
+	for _, n := range nets {
+		cold := reportJSON(t, analyze(t, serial, n))
+		warm := reportJSON(t, analyze(t, serial, n))
+		if cold != warm {
+			t.Fatalf("net %q: warm timing run differs from cold:\n%s\nvs\n%s", n.Name(), warm, cold)
+		}
+		wideCold := reportJSON(t, analyze(t, wide, n))
+		if wideCold != cold {
+			t.Fatalf("net %q: workers=%d timing differs from workers=1:\n%s\nvs\n%s",
+				n.Name(), wide.Workers(), wideCold, cold)
+		}
+	}
+}
+
+// TestEngineTimingIsomorphismInvariance: two isomorphic nets analysed by
+// two FRESH engines (no cache sharing possible) must produce identical
+// timing reports — the canonical workload and canonical choice resolver
+// make the verdict a function of the structure, not of declaration order.
+func TestEngineTimingIsomorphismInvariance(t *testing.T) {
+	// Figure-4 shape (source, free choice, two branch paths) declared in
+	// two different orders with different names.
+	twinA := func() *petri.Net {
+		b := petri.NewBuilder("twin_a")
+		t1 := b.Transition("a_in")
+		t2 := b.Transition("a_left")
+		t3 := b.Transition("a_right")
+		t4 := b.Transition("a_out_l")
+		t5 := b.Transition("a_out_r")
+		p1 := b.Place("a_choice")
+		p2 := b.Place("a_bufl")
+		p3 := b.Place("a_bufr")
+		b.ArcTP(t1, p1)
+		b.Arc(p1, t2)
+		b.Arc(p1, t3)
+		b.Chain(t2, p2, t4)
+		b.Chain(t3, p3, t5)
+		return b.Build()
+	}
+	twinB := func() *petri.Net {
+		b := petri.NewBuilder("twin_b")
+		// Reversed declaration order: every local index differs from twinA.
+		t5 := b.Transition("b_out_r")
+		t4 := b.Transition("b_out_l")
+		t3 := b.Transition("b_right")
+		t2 := b.Transition("b_left")
+		t1 := b.Transition("b_in")
+		p3 := b.Place("b_bufr")
+		p2 := b.Place("b_bufl")
+		p1 := b.Place("b_choice")
+		b.ArcTP(t1, p1)
+		b.Arc(p1, t2)
+		b.Arc(p1, t3)
+		b.Chain(t2, p2, t4)
+		b.Chain(t3, p3, t5)
+		return b.Build()
+	}
+
+	ea := New(timingConfig(1))
+	defer ea.Close()
+	eb := New(timingConfig(1))
+	defer eb.Close()
+	ra := analyze(t, ea, twinA())
+	rb := analyze(t, eb, twinB())
+	if ra.Hash != rb.Hash {
+		t.Fatalf("twins are not isomorphic: %s vs %s", ra.Hash, rb.Hash)
+	}
+	ja, jb := timingJSON(t, ra), timingJSON(t, rb)
+	if ja == "" || ja != jb {
+		t.Fatalf("cold timing reports differ across isomorphic nets:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// TestEngineTimingReportShape checks the concrete fields: calibrated
+// deadline, satisfied nominal verdict, one margin per configured kind
+// with a non-negative level.
+func TestEngineTimingReportShape(t *testing.T) {
+	e := New(timingConfig(2))
+	defer e.Close()
+	rep := analyze(t, e, figures.Figure4())
+	tr := rep.Timing
+	if tr == nil || tr.Verdict == nil {
+		t.Fatalf("no timing report: %+v", tr)
+	}
+	if tr.MK != "(9,10)" || tr.Deadline <= 0 || tr.EventsPerSource != 32 || tr.Seed != 1 {
+		t.Fatalf("timing params = %+v", tr)
+	}
+	if !tr.Verdict.Satisfied {
+		t.Fatalf("nominal verdict must pass under the calibrated deadline: %s", tr.Verdict)
+	}
+	if len(tr.Margins) != 2 || tr.Margins[0].Kind != sim.OverloadBurst.String() ||
+		tr.Margins[1].Kind != sim.OverloadOverrun.String() {
+		t.Fatalf("margins = %+v", tr.Margins)
+	}
+	for _, om := range tr.Margins {
+		if om.Result == nil || om.Result.Level < 0 {
+			t.Fatalf("margin %s did not produce a finite non-negative level: %+v", om.Kind, om.Result)
+		}
+		if om.Deadline != tr.Deadline {
+			t.Fatalf("margin deadline %d != verdict deadline %d", om.Deadline, tr.Deadline)
+		}
+	}
+
+	// The timing pass only runs for schedulable nets.
+	rep7 := analyze(t, e, figures.Figure7())
+	if rep7.Schedulable || rep7.Timing != nil {
+		t.Fatalf("unschedulable net got a timing report: %+v", rep7.Timing)
+	}
+
+	// And not at all when the option is off.
+	plain := New(Config{Workers: 1})
+	defer plain.Close()
+	if rep := analyze(t, plain, figures.Figure4()); rep.Timing != nil {
+		t.Fatal("timing pass ran without being configured")
+	}
+}

@@ -107,7 +107,7 @@ func TestCostJitterDeterministicAndBounded(t *testing.T) {
 	j := &CostJitter{Seed: 11, MaxPct: 40}
 	for d := int64(0); d < 500; d++ {
 		got := j.Perturb(base, d)
-		if again := j.Perturb(base, d); got != again {
+		if again := j.Perturb(base, d); !reflect.DeepEqual(got, again) {
 			t.Fatalf("dispatch %d: non-deterministic perturbation", d)
 		}
 		if got.Fire < base.Fire || got.Fire > base.Fire*140/100 {
@@ -117,11 +117,11 @@ func TestCostJitterDeterministicAndBounded(t *testing.T) {
 			t.Fatalf("dispatch %d: kernel costs must not jitter", d)
 		}
 	}
-	if (&CostJitter{Seed: 1, MaxPct: 0}).Perturb(base, 3) != base {
+	if !reflect.DeepEqual((&CostJitter{Seed: 1, MaxPct: 0}).Perturb(base, 3), base) {
 		t.Fatal("MaxPct 0 must be the identity")
 	}
 	var nilJitter *CostJitter
-	if nilJitter.Perturb(base, 3) != base {
+	if !reflect.DeepEqual(nilJitter.Perturb(base, 3), base) {
 		t.Fatal("nil jitter must be the identity")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fcpn/internal/core"
 	"fcpn/internal/rtos"
 	"fcpn/internal/sim"
+	"fcpn/internal/timing"
 )
 
 // ComparisonRow is one implementation's measurements.
@@ -41,6 +42,91 @@ type WorkloadConfig struct {
 // DefaultWorkload is 200 samples with 12 host commands.
 func DefaultWorkload() WorkloadConfig {
 	return WorkloadConfig{Samples: 200, Cmds: 12, SamplePeriod: 5, CmdMeanGap: 80, Seed: 0x51CA}
+}
+
+// TimingSafetyResult is the modem's weakly-hard timing experiment: the
+// nominal verdict under a calibrated deadline plus one overload-margin
+// frontier per requested kind. Deterministic for a given (workload, seed).
+type TimingSafetyResult struct {
+	MK       string
+	Deadline int64
+	Verdict  *timing.Verdict
+	Margins  []*sim.OverloadMargin `json:",omitempty"`
+}
+
+// RunTimingSafety synthesises the QSS modem and checks its deadline
+// hit/miss stream against the weakly-hard (m,k) constraint, then
+// binary-searches the overload margin for each requested kind. A zero
+// deadline is calibrated to sim.DefaultDeadlineFactor x the fault-free
+// worst response.
+func RunTimingSafety(wl WorkloadConfig, cost rtos.CostModel, mk timing.Constraint, deadline int64, kinds []sim.OverloadKind, seed uint64) (*TimingSafetyResult, error) {
+	if err := mk.Validate(); err != nil {
+		return nil, fmt.Errorf("modem: %w", err)
+	}
+	m, err := New()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.Solve(m.Net, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("modem: schedule: %w", err)
+	}
+	tp, err := core.PartitionTasks(m.Net, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Generate(sched, tp)
+	if err != nil {
+		return nil, err
+	}
+	events := rtos.Merge(
+		rtos.Periodic(m.Sample, wl.SamplePeriod, 0, wl.Samples),
+		rtos.Bursty(m.Cmd, wl.CmdMeanGap, wl.Cmds, wl.Seed),
+	)
+	// Fresh line state per run: calibration and every margin probe replay
+	// the same testbench.
+	hooks := func() sim.Hooks {
+		l := NewLine(m)
+		return sim.Hooks{
+			Resolver: l.Resolver(),
+			OnFire:   l.OnFire,
+			BeforeEvent: func(ev rtos.Event) {
+				switch ev.Source {
+				case m.Sample:
+					l.BeginSample()
+				case m.Cmd:
+					l.BeginCmd()
+				}
+			},
+		}
+	}
+	if deadline == 0 {
+		deadline, err = sim.CalibrateDeadline(prog, events, cost,
+			sim.RobustConfig{CyclesPerTick: 1}, hooks(), sim.DefaultDeadlineFactor)
+		if err != nil {
+			return nil, fmt.Errorf("modem: calibrating deadline: %w", err)
+		}
+	}
+	rm, err := sim.RunRobust(prog, events, cost,
+		sim.RobustConfig{CyclesPerTick: 1, Deadline: deadline, MK: mk}, hooks())
+	if err != nil {
+		return nil, err
+	}
+	res := &TimingSafetyResult{MK: mk.String(), Deadline: deadline, Verdict: rm.Timing}
+	for _, kind := range kinds {
+		om, err := sim.SearchOverloadMargin(prog, events, cost, sim.MarginConfig{
+			Kind:   kind,
+			MK:     mk,
+			Seed:   seed,
+			Robust: sim.RobustConfig{CyclesPerTick: 1, Deadline: deadline},
+			Hooks:  hooks,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("modem: margin %s: %w", kind, err)
+		}
+		res.Margins = append(res.Margins, om)
+	}
+	return res, nil
 }
 
 // RunComparison synthesises both implementations and drives them with the

@@ -118,25 +118,77 @@ func (q *EventQueue) Pop() (QueuedEvent, bool) {
 
 // Watchdog tracks per-event deadline misses: the kernel feeds it every
 // completed event's response time (arrival to completion, in cycles).
+//
+// Budget == 0 (or negative) means the watchdog is DISABLED: Observe
+// reports every response as a hit, counts nothing, and records no
+// history — the zero value is the idealised no-deadline kernel, not a
+// zero-cycle deadline. Like the rest of the type, a nil *Watchdog is
+// valid everywhere and behaves as disabled.
 type Watchdog struct {
-	// Budget is the per-event response-time deadline in cycles; 0 disables
-	// the watchdog.
+	// Budget is the per-event response-time deadline in cycles; <= 0
+	// disables the watchdog (see above).
 	Budget int64
 	// Misses counts events whose response exceeded the budget;
 	// WorstOverrun is the largest observed excess.
 	Misses       int64
 	WorstOverrun int64
+	// HistoryCap, when positive, bounds a recorded hit/miss history:
+	// Observe appends each outcome (true = miss) to a ring keeping the
+	// last HistoryCap outcomes — the stream a weakly-hard (m,k) monitor
+	// consumes (timing.Replay over History). 0 records nothing.
+	HistoryCap int
+
+	history  []bool // ring of the last HistoryCap outcomes
+	observed int64  // total outcomes fed while enabled
 }
 
 // Observe records one event's response time, reporting whether it missed
-// the deadline.
+// the deadline. Disabled (nil, or Budget <= 0) watchdogs observe
+// nothing and always report a hit.
 func (w *Watchdog) Observe(response int64) bool {
-	if w == nil || w.Budget <= 0 || response <= w.Budget {
+	if w == nil || w.Budget <= 0 {
 		return false
 	}
-	w.Misses++
-	if over := response - w.Budget; over > w.WorstOverrun {
-		w.WorstOverrun = over
+	miss := response > w.Budget
+	if miss {
+		w.Misses++
+		if over := response - w.Budget; over > w.WorstOverrun {
+			w.WorstOverrun = over
+		}
 	}
-	return true
+	if w.HistoryCap > 0 {
+		if w.history == nil {
+			w.history = make([]bool, w.HistoryCap)
+		}
+		w.history[int(w.observed)%w.HistoryCap] = miss
+	}
+	w.observed++
+	return miss
+}
+
+// Observed is the total number of outcomes fed to an enabled watchdog
+// (hits and misses; 0 on nil or disabled watchdogs).
+func (w *Watchdog) Observed() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.observed
+}
+
+// History snapshots the recorded hit/miss ring, oldest outcome first
+// (true = miss). It holds the last min(Observed, HistoryCap) outcomes;
+// nil when recording is off or nothing was observed. Nil-safe.
+func (w *Watchdog) History() []bool {
+	if w == nil || w.HistoryCap <= 0 || w.observed == 0 {
+		return nil
+	}
+	n := w.HistoryCap
+	if w.observed < int64(n) {
+		n = int(w.observed)
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = w.history[int(w.observed-int64(n)+int64(i))%w.HistoryCap]
+	}
+	return out
 }

@@ -142,3 +142,67 @@ func TestKernelAdmitComplete(t *testing.T) {
 		t.Fatalf("misses=%d", k.Watch.Misses)
 	}
 }
+
+func TestWatchdogDisabledSemantics(t *testing.T) {
+	// Budget == 0 means DISABLED, not "zero-cycle deadline": nothing is
+	// a miss, nothing is counted, nothing is recorded — even with a
+	// history ring configured.
+	off := &Watchdog{Budget: 0, HistoryCap: 8}
+	for _, r := range []int64{0, 1, 1 << 40} {
+		if off.Observe(r) {
+			t.Fatalf("disabled watchdog missed at response %d", r)
+		}
+	}
+	if off.Misses != 0 || off.WorstOverrun != 0 {
+		t.Fatalf("disabled watchdog counted: %+v", off)
+	}
+	if off.Observed() != 0 || off.History() != nil {
+		t.Fatalf("disabled watchdog recorded history: observed=%d hist=%v",
+			off.Observed(), off.History())
+	}
+	// Negative budgets are disabled too.
+	neg := &Watchdog{Budget: -5}
+	if neg.Observe(1) || neg.Observed() != 0 {
+		t.Fatal("negative budget must disable the watchdog")
+	}
+	// Nil-safety extends to the new accessors.
+	var nilW *Watchdog
+	if nilW.Observed() != 0 || nilW.History() != nil {
+		t.Fatal("nil watchdog accessors must be zero")
+	}
+}
+
+func TestWatchdogHistoryRing(t *testing.T) {
+	w := &Watchdog{Budget: 10, HistoryCap: 4}
+	// Responses: hit, miss, hit, miss, miss — 5 outcomes through a
+	// 4-slot ring, so the oldest (the first hit) falls out.
+	for _, r := range []int64{5, 20, 10, 11, 30} {
+		w.Observe(r)
+	}
+	if w.Observed() != 5 {
+		t.Fatalf("observed = %d", w.Observed())
+	}
+	got := w.History()
+	want := []bool{true, false, true, true} // miss, hit, miss, miss
+	if len(got) != len(want) {
+		t.Fatalf("history = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("history[%d] = %v, want %v (%v)", i, got[i], want[i], got)
+		}
+	}
+	// Fewer outcomes than the cap: the snapshot is exactly what was fed.
+	short := &Watchdog{Budget: 10, HistoryCap: 8}
+	short.Observe(50)
+	short.Observe(1)
+	if h := short.History(); len(h) != 2 || !h[0] || h[1] {
+		t.Fatalf("short history = %v", h)
+	}
+	// HistoryCap == 0: counting still works, recording is off.
+	bare := &Watchdog{Budget: 10}
+	bare.Observe(100)
+	if bare.Misses != 1 || bare.History() != nil {
+		t.Fatalf("bare watchdog: misses=%d hist=%v", bare.Misses, bare.History())
+	}
+}

@@ -34,6 +34,15 @@ type CostModel struct {
 	Op int64
 	// Interrupt is charged per external event delivery.
 	Interrupt int64
+	// Durations, when non-nil, are per-transition execution times in
+	// cycles charged ON TOP of Fire for each firing of that transition —
+	// the timed-Petri-net duration annotations of the timing-safety
+	// layer. Transitions absent from the map cost only Fire. The map is
+	// shared by reference across cost-model copies (fault.CostJitter
+	// perturbs the scalar costs per dispatch but leaves Durations
+	// unscaled: annotations model the data computation's nominal length,
+	// overruns model the execution environment).
+	Durations map[petri.Transition]int64
 }
 
 // DefaultCostModel mirrors a small embedded kernel: task activation is an
@@ -113,6 +122,16 @@ func (k *Kernel) ChargeFirings(n int64) { k.Cycles += n * k.Cost.Fire }
 
 // ChargeOps charges n generated-code bookkeeping operations.
 func (k *Kernel) ChargeOps(n int64) { k.Cycles += n * k.Cost.Op }
+
+// ChargeDuration charges transition t's duration annotation, if it has
+// one (no-op otherwise). The simulators call it once per firing through
+// the interpreter's OnFire hook, so annotated and unannotated runs
+// share one code path.
+func (k *Kernel) ChargeDuration(t petri.Transition) {
+	if d, ok := k.Cost.Durations[t]; ok {
+		k.Cycles += d
+	}
+}
 
 // String summarises the kernel counters.
 func (k *Kernel) String() string {

@@ -116,3 +116,24 @@ func TestMergeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChargeDuration(t *testing.T) {
+	cost := DefaultCostModel()
+	cost.Durations = map[petri.Transition]int64{
+		petri.Transition(1): 500,
+		petri.Transition(3): 70,
+	}
+	k := NewKernel(cost)
+	k.ChargeDuration(petri.Transition(1))
+	k.ChargeDuration(petri.Transition(2)) // unannotated: free
+	k.ChargeDuration(petri.Transition(3))
+	if k.Cycles != 570 {
+		t.Fatalf("cycles = %d, want 570", k.Cycles)
+	}
+	// No annotation map at all: ChargeDuration is a no-op.
+	plain := NewKernel(DefaultCostModel())
+	plain.ChargeDuration(petri.Transition(1))
+	if plain.Cycles != 0 {
+		t.Fatalf("unannotated kernel charged %d", plain.Cycles)
+	}
+}

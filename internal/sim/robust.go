@@ -10,6 +10,7 @@ import (
 	"fcpn/internal/invariant"
 	"fcpn/internal/petri"
 	"fcpn/internal/rtos"
+	"fcpn/internal/timing"
 )
 
 // CostPerturber perturbs the kernel cost model per dispatch (task
@@ -48,6 +49,12 @@ type RobustConfig struct {
 	// Modular runs the functional baseline's dynamic scheduler cascade
 	// after each event.
 	Modular bool
+	// MK, when enabled, checks the run's deadline hit/miss stream (the
+	// watchdog's Observe outcomes) against the weakly-hard (m,k)
+	// constraint; the verdict lands in RobustMetrics.Timing. With
+	// Deadline == 0 the watchdog is disabled, every event counts as a
+	// hit, and the verdict is trivially satisfied.
+	MK timing.Constraint
 }
 
 // PlaceBound records one place whose observed peak counter passed a
@@ -87,6 +94,9 @@ type RobustMetrics struct {
 	// the run was cut off by the step budget.
 	Steps           int
 	BudgetExhausted bool
+	// Timing is the weakly-hard (m,k) verdict over the served events'
+	// hit/miss stream; nil unless RobustConfig.MK is enabled.
+	Timing *timing.Verdict
 }
 
 // StructuralLimits derives sound per-place token bounds from the net's
@@ -129,6 +139,7 @@ func RunRobust(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, 
 	if len(events) == 0 {
 		rm := &RobustMetrics{Metrics: *emptyMetrics(prog)}
 		rm.PeakCounters = append([]int(nil), prog.Net.InitialMarking()...)
+		rm.Timing = timing.NewMonitor(cfg.MK).Verdict()
 		return rm, nil
 	}
 
@@ -136,13 +147,16 @@ func RunRobust(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, 
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
 
 	in := codegen.NewInterp(prog, hooks.Resolver)
-	in.OnFire = hooks.OnFire
 	in.MaxOps = cfg.StepBudget
 	k := rtos.NewKernel(cost)
+	in.OnFire = fireHook(k, hooks)
 	k.Queue = rtos.NewEventQueue(cfg.Queue)
 	if cfg.Deadline > 0 {
-		k.Watch = &rtos.Watchdog{Budget: cfg.Deadline}
+		// The watchdog keeps one constraint window of hit/miss history so
+		// violated windows stay inspectable after the run.
+		k.Watch = &rtos.Watchdog{Budget: cfg.Deadline, HistoryCap: cfg.MK.K}
 	}
+	mon := timing.NewMonitor(cfg.MK)
 
 	var clock, busy int64
 	var respMax, respSum int64
@@ -223,7 +237,11 @@ serve:
 			respMax = response
 		}
 		respSum += response
-		k.Complete(response)
+		miss := k.Complete(response)
+		if miss {
+			mon.ObserveOverrun(response - cfg.Deadline)
+		}
+		mon.Observe(miss)
 	}
 
 	m := metricsFrom(k, in, served)
@@ -247,6 +265,7 @@ serve:
 	if k.Watch != nil {
 		rm.WorstOverrun = k.Watch.WorstOverrun
 	}
+	rm.Timing = mon.Verdict()
 	rm.Violations = boundCheck(prog.Net, rm.PeakCounters, cfg.Limits)
 	rm.BoundViolations = len(rm.Violations)
 	rm.CycleExceedances = boundCheck(prog.Net, rm.PeakCounters, cfg.CycleLimits)

@@ -139,6 +139,24 @@ type Hooks struct {
 	BeforeEvent func(ev rtos.Event)
 }
 
+// fireHook chains duration charging onto the caller's OnFire when the
+// cost model carries per-transition duration annotations (timed Petri
+// nets). The interpreter invokes it once per firing, so annotated and
+// unannotated runs share one code path; without annotations the caller's
+// hook is returned untouched.
+func fireHook(k *rtos.Kernel, hooks Hooks) func(petri.Transition) {
+	if len(k.Cost.Durations) == 0 {
+		return hooks.OnFire
+	}
+	user := hooks.OnFire
+	return func(t petri.Transition) {
+		k.ChargeDuration(t)
+		if user != nil {
+			user(t)
+		}
+	}
+}
+
 // RunQSS drives the quasi-statically scheduled program: each event costs
 // one interrupt plus one task activation, then the task runs to
 // completion. Choices resolve through a seeded DecisionStream.
@@ -164,8 +182,8 @@ func RunQSSWithHooks(prog *codegen.Program, events []rtos.Event, cost rtos.CostM
 		return emptyMetrics(prog), nil
 	}
 	in := codegen.NewInterp(prog, hooks.Resolver)
-	in.OnFire = hooks.OnFire
 	k := rtos.NewKernel(cost)
+	in.OnFire = fireHook(k, hooks)
 	var lat latencyAgg
 	for _, ev := range events {
 		ti := prog.TaskBySource(ev.Source)
@@ -207,8 +225,8 @@ func RunModularWithHooks(prog *codegen.Program, events []rtos.Event, cost rtos.C
 		return emptyMetrics(prog), nil
 	}
 	in := codegen.NewInterp(prog, hooks.Resolver)
-	in.OnFire = hooks.OnFire
 	k := rtos.NewKernel(cost)
+	in.OnFire = fireHook(k, hooks)
 	var lat latencyAgg
 	for _, ev := range events {
 		ti := prog.TaskBySource(ev.Source)

@@ -243,3 +243,65 @@ func TestModularLatencyExceedsQSS(t *testing.T) {
 		t.Fatalf("modular max latency %d must exceed QSS %d", mm.LatencyMax, qm.LatencyMax)
 	}
 }
+
+// TestDurationAnnotationsChargePerFiring checks the timed-net duration
+// annotations end to end: every runner charges a transition's duration
+// once per firing through the interpreter's OnFire hook, on top of the
+// uniform Fire cost, and any user OnFire hook still runs.
+func TestDurationAnnotationsChargePerFiring(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	events := rtos.Periodic(t1, 10, 0, 15)
+	base := rtos.DefaultCostModel()
+	annotated := base
+	annotated.Durations = map[petri.Transition]int64{t1: 500}
+	const wantDelta = 500 * 15 // t1 fires once per event
+
+	runQSS := func(cost rtos.CostModel) (int64, int) {
+		ds := NewDecisionStream(n, 7)
+		fired := 0
+		m, err := RunQSSWithHooks(prog, events, cost, Hooks{
+			Resolver: ds.Resolver(),
+			OnFire:   func(petri.Transition) { fired++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles, fired
+	}
+	plain, firedPlain := runQSS(base)
+	rich, firedRich := runQSS(annotated)
+	if firedPlain != firedRich || firedPlain == 0 {
+		t.Fatalf("user OnFire hook lost under annotations: %d vs %d", firedPlain, firedRich)
+	}
+	if rich-plain != wantDelta {
+		t.Fatalf("QSS duration charge = %d, want %d", rich-plain, wantDelta)
+	}
+
+	timedCycles := func(cost rtos.CostModel) int64 {
+		ds := NewDecisionStream(n, 7)
+		tm, err := RunTimed(prog, events, cost, TimedConfig{CyclesPerTick: 10},
+			Hooks{Resolver: ds.Resolver()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm.Cycles
+	}
+	if d := timedCycles(annotated) - timedCycles(base); d != wantDelta {
+		t.Fatalf("timed duration charge = %d, want %d", d, wantDelta)
+	}
+
+	robustCycles := func(cost rtos.CostModel) int64 {
+		ds := NewDecisionStream(n, 7)
+		rm, err := RunRobust(prog, events, cost, RobustConfig{},
+			Hooks{Resolver: ds.Resolver()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rm.Cycles
+	}
+	if d := robustCycles(annotated) - robustCycles(base); d != wantDelta {
+		t.Fatalf("robust duration charge = %d, want %d", d, wantDelta)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"fcpn/internal/codegen"
 	"fcpn/internal/rtos"
+	"fcpn/internal/timing"
 )
 
 // TimedMetrics extends Metrics with single-processor timing: events arrive
@@ -24,6 +25,9 @@ type TimedMetrics struct {
 	DeadlineMisses int
 	// Utilisation is CPUBusy / Makespan in percent.
 	Utilisation float64
+	// Timing is the weakly-hard (m,k) verdict over the run's hit/miss
+	// stream; nil unless TimedConfig.MK is enabled.
+	Timing *timing.Verdict
 }
 
 // TimedConfig parameterises the timed run.
@@ -37,6 +41,12 @@ type TimedConfig struct {
 	// Modular switches the baseline execution mode (dynamic scheduler
 	// cascade after each event).
 	Modular bool
+	// MK, when enabled, checks the run's deadline hit/miss stream
+	// against the weakly-hard (m,k) constraint; the verdict lands in
+	// TimedMetrics.Timing. With Deadline == 0 every event is a hit, so
+	// the verdict is trivially satisfied (the zero-deadline path stays a
+	// no-deadline run, not an always-miss run).
+	MK timing.Constraint
 }
 
 // RunTimed executes the program against the workload on a single CPU with
@@ -49,15 +59,20 @@ func RunTimed(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, c
 	}
 	if len(events) == 0 {
 		// Explicit zero-event fast path: an empty tick stream yields
-		// all-zero timed metrics without touching the interpreter.
-		return &TimedMetrics{Metrics: *emptyMetrics(prog)}, nil
+		// all-zero timed metrics without touching the interpreter. The
+		// (m,k) verdict over zero events is vacuously satisfied.
+		return &TimedMetrics{
+			Metrics: *emptyMetrics(prog),
+			Timing:  timing.NewMonitor(cfg.MK).Verdict(),
+		}, nil
 	}
 	ordered := append([]rtos.Event(nil), events...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
 
 	in := codegen.NewInterp(prog, hooks.Resolver)
-	in.OnFire = hooks.OnFire
 	k := rtos.NewKernel(cost)
+	in.OnFire = fireHook(k, hooks)
+	mon := timing.NewMonitor(cfg.MK)
 
 	var clock int64 // absolute time in cycles
 	var busy int64
@@ -116,9 +131,12 @@ func RunTimed(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, c
 			respMax = response
 		}
 		respSum += response
-		if cfg.Deadline > 0 && response > cfg.Deadline {
+		miss := cfg.Deadline > 0 && response > cfg.Deadline
+		if miss {
 			misses++
+			mon.ObserveOverrun(response - cfg.Deadline)
 		}
+		mon.Observe(miss)
 	}
 
 	m := metricsFrom(k, in, len(ordered))
@@ -128,6 +146,7 @@ func RunTimed(prog *codegen.Program, events []rtos.Event, cost rtos.CostModel, c
 		Makespan:       clock,
 		ResponseMax:    respMax,
 		DeadlineMisses: misses,
+		Timing:         mon.Verdict(),
 	}
 	if len(ordered) > 0 {
 		tm.ResponseAvg = respSum / int64(len(ordered))

@@ -7,6 +7,7 @@ import (
 	"fcpn/internal/figures"
 	"fcpn/internal/petri"
 	"fcpn/internal/rtos"
+	"fcpn/internal/timing"
 )
 
 func TestRunTimedBasics(t *testing.T) {
@@ -113,6 +114,129 @@ func TestRunTimedModularWorstCaseResponse(t *testing.T) {
 	if modT.ResponseMax <= qssT.ResponseMax {
 		t.Fatalf("modular worst response %d must exceed QSS %d",
 			modT.ResponseMax, qssT.ResponseMax)
+	}
+}
+
+// TestRunTimedSimultaneousArrivalsKeepInputOrder pins the tie-breaking
+// rule: events with equal Event.Time serve in input-slice order (the sort
+// is stable), not by source id or any other hidden key. Reordering the
+// tied entries reorders service — callers who care must order their
+// streams (rtos.Merge is itself stable).
+func TestRunTimedSimultaneousArrivalsKeepInputOrder(t *testing.T) {
+	n := figures.Figure5() // two independent sources: t1 and t8
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	t8, _ := n.TransitionByName("t8")
+
+	serveOrder := func(events []rtos.Event) []rtos.Event {
+		var got []rtos.Event
+		ds := NewDecisionStream(n, 5)
+		_, err := RunTimed(prog, events, rtos.DefaultCostModel(),
+			TimedConfig{CyclesPerTick: 10}, Hooks{
+				Resolver:    ds.Resolver(),
+				BeforeEvent: func(ev rtos.Event) { got = append(got, ev) },
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	// Three ties at t=5 plus one earlier arrival listed out of order: the
+	// early event serves first, the ties keep their slice order.
+	got := serveOrder([]rtos.Event{
+		{Time: 5, Source: t8},
+		{Time: 5, Source: t1},
+		{Time: 0, Source: t1},
+		{Time: 5, Source: t8},
+	})
+	want := []rtos.Event{
+		{Time: 0, Source: t1},
+		{Time: 5, Source: t8},
+		{Time: 5, Source: t1},
+		{Time: 5, Source: t8},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("served %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("serve order[%d] = %+v, want %+v (full order %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Swapping the tied entries swaps the service order: the tie-break
+	// really is input position, not source identity.
+	swapped := serveOrder([]rtos.Event{
+		{Time: 5, Source: t1},
+		{Time: 5, Source: t8},
+	})
+	if swapped[0].Source != t1 || swapped[1].Source != t8 {
+		t.Fatalf("swapped tie order = %v", swapped)
+	}
+}
+
+// TestRunTimedZeroDeadline pins the zero-Deadline path: no deadline means
+// no misses even under heavy backlog, and an (m,k) verdict over an
+// all-hit stream is satisfied with zero misses — a no-deadline run, not
+// an always-miss run.
+func TestRunTimedZeroDeadline(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	ds := NewDecisionStream(n, 3)
+	// Back-to-back arrivals guarantee queueing delays; with Deadline 0
+	// they still never count as misses.
+	tm, err := RunTimed(prog, rtos.Periodic(t1, 1, 0, 12), rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 1, MK: timing.Constraint{M: 2, K: 3}},
+		Hooks{Resolver: ds.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.DeadlineMisses != 0 {
+		t.Fatalf("zero deadline produced %d misses", tm.DeadlineMisses)
+	}
+	if tm.Timing == nil || !tm.Timing.Satisfied || tm.Timing.Misses != 0 || tm.Timing.Events != 12 {
+		t.Fatalf("zero-deadline verdict = %+v", tm.Timing)
+	}
+	// Without a constraint there is no verdict at all.
+	ds2 := NewDecisionStream(n, 3)
+	tm2, err := RunTimed(prog, rtos.Periodic(t1, 1, 0, 12), rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 1}, Hooks{Resolver: ds2.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm2.Timing != nil {
+		t.Fatalf("disabled MK must yield nil verdict, got %+v", tm2.Timing)
+	}
+}
+
+// TestRunTimedMKVerdict drives the monitor through a run where every
+// event misses: the verdict must pin the first violating window and agree
+// with the scalar miss counters.
+func TestRunTimedMKVerdict(t *testing.T) {
+	n := figures.Figure4()
+	prog := qssProgram(t, n)
+	t1, _ := n.TransitionByName("t1")
+	ds := NewDecisionStream(n, 3)
+	tm, err := RunTimed(prog, rtos.Periodic(t1, 1, 0, 12), rtos.DefaultCostModel(),
+		TimedConfig{CyclesPerTick: 1, Deadline: 1, MK: timing.Constraint{M: 1, K: 2}},
+		Hooks{Resolver: ds.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tm.Timing
+	if v == nil || v.Satisfied {
+		t.Fatalf("all-miss run must violate (1,2): %+v", v)
+	}
+	if v.Misses != tm.DeadlineMisses || v.Misses != 12 {
+		t.Fatalf("verdict misses %d vs counter %d", v.Misses, tm.DeadlineMisses)
+	}
+	if v.Violation.End != 1 || v.Violation.Window != "00" {
+		t.Fatalf("violation = %+v", v.Violation)
+	}
+	if v.WorstOverrun != tm.ResponseMax-1 {
+		t.Fatalf("worst overrun %d, want %d", v.WorstOverrun, tm.ResponseMax-1)
 	}
 }
 

@@ -1,0 +1,49 @@
+package timing
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWeaklyHard differentially fuzzes the O(1)-per-event ring-buffer
+// monitor against the brute-force every-window checker: for any (m,k)
+// and any hit/miss stream, both must produce identical verdicts —
+// satisfaction, totals, and the exact first violating window. Run via
+// `make fuzz` and the CI fuzz step.
+func FuzzWeaklyHard(f *testing.F) {
+	f.Add(uint8(2), uint8(3), []byte("110110"))
+	f.Add(uint8(9), uint8(10), []byte{0xFF, 0x00, 0xAA})
+	f.Add(uint8(1), uint8(1), []byte{0x55})
+	f.Add(uint8(0), uint8(5), []byte{0x00, 0x00})
+	f.Add(uint8(7), uint8(7), []byte{0x80})
+	f.Add(uint8(3), uint8(64), []byte("a longer stream of arbitrary bytes 0101"))
+	f.Fuzz(func(t *testing.T, m, k uint8, raw []byte) {
+		c := Constraint{M: int(m), K: int(k)}
+		if c.Validate() != nil {
+			t.Skip()
+		}
+		// Unpack the raw bytes into a hit/miss stream bit by bit, so the
+		// fuzzer controls miss clustering at full resolution.
+		stream := make([]bool, 0, len(raw)*8)
+		for _, b := range raw {
+			for bit := 0; bit < 8; bit++ {
+				stream = append(stream, b&(1<<bit) != 0)
+			}
+		}
+
+		fast := Replay(c, stream).Verdict()
+		slow := BruteForce(c, stream)
+		fa, err := json.Marshal(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := json.Marshal(slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fa) != string(sa) {
+			t.Fatalf("monitor and brute force diverge for %v over %d events:\n  monitor: %s\n  oracle:  %s",
+				c, len(stream), fa, sa)
+		}
+	})
+}

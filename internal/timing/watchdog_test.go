@@ -1,0 +1,36 @@
+package timing
+
+import (
+	"testing"
+
+	"fcpn/internal/rtos"
+)
+
+// TestMonitorConsumesWatchdogHistory is the satellite wiring check: the
+// watchdog records the hit/miss stream, Replay turns it into a verdict,
+// and the verdict matches feeding the monitor online.
+func TestMonitorConsumesWatchdogHistory(t *testing.T) {
+	c := Constraint{M: 2, K: 3}
+	w := &rtos.Watchdog{Budget: 100, HistoryCap: 16}
+	online := NewMonitor(c)
+	for _, response := range []int64{50, 90, 150, 80, 200, 170, 60} {
+		online.Observe(w.Observe(response))
+	}
+	replayed := Replay(c, w.History()).Verdict()
+	got := online.Verdict()
+	if got.Satisfied != replayed.Satisfied || got.Misses != replayed.Misses ||
+		got.Events != replayed.Events {
+		t.Fatalf("online %+v vs replayed %+v", got, replayed)
+	}
+	// The stream "1101 000..." has two misses inside the window ending
+	// at event 4 — (2,3) must be violated with that exact window.
+	if got.Satisfied {
+		t.Fatal("clustered misses must violate (2,3)")
+	}
+	if got.Violation.End != 4 || got.Violation.Window != "010" {
+		t.Fatalf("violation = %+v", got.Violation)
+	}
+	if w.WorstOverrun != 100 {
+		t.Fatalf("worst overrun = %d", w.WorstOverrun)
+	}
+}

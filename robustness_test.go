@@ -1,6 +1,7 @@
 package fcpn
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"fcpn/internal/modem"
 	"fcpn/internal/rtos"
 	"fcpn/internal/sim"
+	"fcpn/internal/timing"
 )
 
 // loadNet parses one of the shipped example nets.
@@ -145,6 +147,89 @@ func TestModemRobustness(t *testing.T) {
 		}
 		if rm.BoundViolations != 0 {
 			t.Fatalf("scenario %s: %d violations: %v", sc.Name, rm.BoundViolations, rm.Violations)
+		}
+	}
+}
+
+// TestATMTimingSafetyMargins is the tentpole acceptance check for the ATM
+// server: the overload-margin search produces finite non-negative margins
+// under two injector kinds, reproducible byte-for-byte from the same seed,
+// and every scenario carries a concrete weakly-hard verdict.
+func TestATMTimingSafetyMargins(t *testing.T) {
+	cfg := atm.RobustnessConfig{
+		Workload:    atm.DefaultWorkload(),
+		Scenarios:   3,
+		FaultSeed:   0xFA117,
+		MK:          timing.Constraint{M: 8, K: 10},
+		MarginKinds: []sim.OverloadKind{sim.OverloadBurst, sim.OverloadOverrun},
+	}
+	cost := rtos.DefaultCostModel()
+	first, err := atm.RunRobustness(cfg, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := atm.RunRobustness(cfg, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different timing reports:\n%s\nvs\n%s", a, b)
+	}
+	ts := first.Timing
+	if ts == nil || ts.MK != "(8,10)" || ts.Deadline <= 0 {
+		t.Fatalf("missing timing block: %+v", ts)
+	}
+	if len(ts.Margins) != 2 ||
+		ts.Margins[0].Kind != sim.OverloadBurst.String() ||
+		ts.Margins[1].Kind != sim.OverloadOverrun.String() {
+		t.Fatalf("margins = %+v", ts.Margins)
+	}
+	for _, om := range ts.Margins {
+		if om.Result == nil || om.Result.Level < 0 || om.Result.Level > om.Result.Ceiling {
+			t.Fatalf("margin %s not finite: %+v", om.Kind, om.Result)
+		}
+		if om.Deadline != ts.Deadline {
+			t.Fatalf("margin %s deadline %d != calibrated %d", om.Kind, om.Deadline, ts.Deadline)
+		}
+	}
+	for _, sc := range first.Scenarios {
+		if sc.Timing == nil || sc.Timing.Events == 0 {
+			t.Fatalf("scenario %s has no timing verdict: %+v", sc.Name, sc.Timing)
+		}
+	}
+}
+
+// TestModemTimingSafetyMargins mirrors the ATM acceptance check on the
+// modem: nominal verdict satisfied under the calibrated deadline, finite
+// reproducible margins under burst and overrun.
+func TestModemTimingSafetyMargins(t *testing.T) {
+	kinds := []sim.OverloadKind{sim.OverloadBurst, sim.OverloadOverrun}
+	mk := timing.Constraint{M: 9, K: 10}
+	cost := rtos.DefaultCostModel()
+	first, err := modem.RunTimingSafety(modem.DefaultWorkload(), cost, mk, 0, kinds, 0x30DE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := modem.RunTimingSafety(modem.DefaultWorkload(), cost, mk, 0, kinds, 0x30DE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different modem timing results:\n%s\nvs\n%s", a, b)
+	}
+	if first.Deadline <= 0 || first.Verdict == nil || !first.Verdict.Satisfied {
+		t.Fatalf("nominal modem run must satisfy %s under the calibrated deadline: %+v", mk, first)
+	}
+	if len(first.Margins) != 2 {
+		t.Fatalf("margins = %+v", first.Margins)
+	}
+	for _, om := range first.Margins {
+		if om.Result == nil || om.Result.Level < 0 || om.Result.Level > om.Result.Ceiling {
+			t.Fatalf("margin %s not finite: %+v", om.Kind, om.Result)
 		}
 	}
 }
