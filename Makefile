@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-json phase-baseline phase-gate cover fuzz examples atmbench clean
+.PHONY: all build test bench bench-json bench-serve phase-baseline phase-gate cover fuzz examples atmbench clean
 
 all: build test
 
@@ -31,6 +31,29 @@ bench-json:
 	go run ./cmd/qssd -journal BENCH_journal.jsonl -compact
 	@grep -E '"(cold_nets_per_sec|warm_nets_per_sec|hit_rate|speedup|gomaxprocs)"' BENCH_engine.json
 	@grep -m1 -E '"(deadline|mk)"' BENCH_engine.json
+
+# Service throughput report (see docs/SERVICE.md): boot the sharded HTTP
+# service on a free port, drive the same corpus through it over HTTP (one
+# cold pass + two warm passes), and write BENCH_service.json with
+# requests/sec and the cold-miss / warm-hit cache split. The server is
+# shut down gracefully (SIGINT -> drain + journal flush) afterwards.
+bench-serve:
+	go build -o /tmp/qssd_bench ./cmd/qssd
+	rm -rf /tmp/qssd_bench_journal /tmp/qssd_serve.log && mkdir -p /tmp/qssd_bench_journal
+	/tmp/qssd_bench serve -addr 127.0.0.1:0 -shards 2 -workers 4 \
+		-journal-dir /tmp/qssd_bench_journal > /tmp/qssd_serve.log 2>&1 & \
+	SRV=$$!; \
+	ADDR=""; \
+	for i in $$(seq 1 100); do \
+		ADDR=$$(sed -n 's|^qssd: serving on \(http://[^ ]*\).*|\1|p' /tmp/qssd_serve.log); \
+		[ -n "$$ADDR" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$ADDR" ] || { cat /tmp/qssd_serve.log; kill $$SRV 2>/dev/null; echo "bench-serve: server never came up"; exit 1; }; \
+	/tmp/qssd_bench -server $$ADDR -gen 50 -repeat 3 -workers 4 \
+		-o BENCH_service.json examples/nets/*.pn || { kill -INT $$SRV; exit 1; }; \
+	kill -INT $$SRV; wait $$SRV
+	@grep -E '"(requests_per_sec|cold_nets_per_sec|warm_nets_per_sec|server_url)"' BENCH_service.json
+	@grep -E '"(cold_cache|warm_cache)"' BENCH_service.json
 
 # Phase-regression gate (see docs/TRACING.md): run a small fixed traced
 # corpus and compare each phase's total time against the committed
@@ -67,4 +90,4 @@ atmbench:
 	go run ./cmd/atmbench
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt BENCH_engine.json BENCH_journal.jsonl
+	rm -f cover.out test_output.txt bench_output.txt BENCH_engine.json BENCH_journal.jsonl BENCH_service.json

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"fcpn"
+	"fcpn/internal/engine"
+	"fcpn/internal/petri"
+	"fcpn/internal/server"
+)
+
+// clientConfig drives a corpus through a running qssd service.
+type clientConfig struct {
+	BaseURL string
+	Workers int // concurrent requests (0 = GOMAXPROCS)
+	Repeat  int // pass count: 1 cold + Repeat-1 warm
+	Out     string
+}
+
+// runClient is the HTTP twin of the batch path: the same corpus, the
+// same report document, but every analysis is a POST /v1/analyze against
+// a running service. The cold/warm split measures the *service's*
+// content-addressed dedup — the warm passes should come back marked
+// "hit" without touching the engines.
+func runClient(cfg clientConfig, sources []string, nets []*petri.Net, stdout io.Writer) error {
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	texts := make([]string, len(nets))
+	for i, n := range nets {
+		texts[i] = fcpn.Format(n)
+	}
+	hc := &http.Client{Timeout: 5 * time.Minute}
+
+	if err := waitReady(hc, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	final := make([]netResult, len(nets))
+	// pass posts every net once with `workers` concurrent senders,
+	// tallying the service's cache markers; record also fills final.
+	pass := func(tally map[string]int, record bool) (time.Duration, error) {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var firstErr error
+		sem := make(chan struct{}, workers)
+		t0 := time.Now()
+		for i := range nets {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				tReq := time.Now()
+				ar, err := postAnalyze(hc, base, texts[i])
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", sources[i], err)
+					}
+					return
+				}
+				if ar.Cache != "" {
+					tally[ar.Cache]++
+				}
+				if !record {
+					return
+				}
+				final[i] = netResult{
+					Source:    sources[i],
+					ElapsedMS: msOf(time.Since(tReq)),
+					Status:    ar.Status,
+					Error:     ar.Error,
+					Cache:     ar.Cache,
+				}
+				if len(ar.Report) > 0 {
+					rep := new(engine.NetReport)
+					if jerr := json.Unmarshal(ar.Report, rep); jerr == nil {
+						final[i].Report = rep
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		return time.Since(t0), firstErr
+	}
+
+	coldCache := map[string]int{}
+	cold, err := pass(coldCache, true)
+	if err != nil {
+		return err
+	}
+	warmCache := map[string]int{}
+	var warm time.Duration
+	for r := 1; r < cfg.Repeat; r++ {
+		d, err := pass(warmCache, false)
+		if err != nil {
+			return err
+		}
+		warm += d
+	}
+
+	rep := batchReport{
+		Workers:       workers,
+		Repeat:        cfg.Repeat,
+		Nets:          len(nets),
+		Jobs:          len(nets) * cfg.Repeat,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		StatusCounts:  map[string]int{},
+		ColdElapsedMS: msOf(cold),
+		ElapsedMS:     msOf(cold + warm),
+		ServerURL:     cfg.BaseURL,
+		ColdCache:     coldCache,
+		Results:       final,
+	}
+	if cold > 0 {
+		rep.ColdNetsPerSec = float64(len(nets)) / cold.Seconds()
+	}
+	if cfg.Repeat > 1 && warm > 0 {
+		rep.WarmElapsedMS = msOf(warm)
+		rep.WarmNetsPerSec = float64(len(nets)*(cfg.Repeat-1)) / warm.Seconds()
+		rep.WarmCache = warmCache
+	}
+	if total := cold + warm; total > 0 {
+		rep.RequestsPerSec = float64(len(nets)*cfg.Repeat) / total.Seconds()
+	}
+	for i := range final {
+		rep.StatusCounts[final[i].Status]++
+	}
+	if raw, err := getStats(hc, base); err == nil {
+		rep.ServerStats = raw
+	}
+	return writeReport(&rep, cfg.Out, stdout)
+}
+
+// waitReady polls GET /readyz until the service answers 200 or the
+// budget runs out, so "start the server, point the client at it" needs
+// no sleep choreography in scripts.
+func waitReady(hc *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var last error
+	for {
+		resp, err := hc.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("readyz: %s", resp.Status)
+		} else {
+			last = err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server %s not ready after %v: %w", base, budget, last)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// postAnalyze submits one net, honouring 429 backpressure: a refused
+// request sleeps the service's Retry-After hint and goes again, so a
+// client with more concurrency than the server's admission window
+// degrades to the server's pace instead of failing.
+func postAnalyze(hc *http.Client, base, text string) (*server.AnalyzeResponse, error) {
+	for {
+		resp, err := hc.Post(base+"/v1/analyze", "text/plain", strings.NewReader(text))
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		ar := new(server.AnalyzeResponse)
+		if err := json.Unmarshal(body, ar); err != nil {
+			return nil, fmt.Errorf("%s: bad response body %q", resp.Status, body)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := time.Duration(ar.RetryAfterSec) * time.Second
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			time.Sleep(wait)
+			continue
+		}
+		return ar, nil
+	}
+}
+
+func getStats(hc *http.Client, base string) (json.RawMessage, error) {
+	resp, err := hc.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

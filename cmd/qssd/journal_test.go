@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"fcpn/internal/engine"
+	jnl "fcpn/internal/journal"
 	"fcpn/internal/netgen"
 )
 
@@ -22,7 +23,7 @@ func TestQssdJournalWritesEveryJob(t *testing.T) {
 	if rep.StatusCounts["ok"] != 5 {
 		t.Fatalf("status counts: %+v", rep.StatusCounts)
 	}
-	entries, err := readJournal(journal)
+	entries, err := jnl.Read(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestQssdResumeSkipsCompleted(t *testing.T) {
 // panicked is refused on resume (quarantined), not re-run.
 func TestQssdResumeQuarantinesJournalledPanics(t *testing.T) {
 	journal := filepath.Join(t.TempDir(), "j.jsonl")
-	ent, err := json.Marshal(journalEntry{
+	ent, err := json.Marshal(jnl.Entry{
 		Hash:   genHash(40),
 		Source: "gen:40",
 		Status: string(engine.StatusPanicked),
@@ -136,7 +137,7 @@ func TestQssdResumeQuarantinesJournalledPanics(t *testing.T) {
 	}
 	// The quarantine refusal is itself journalled, so the next resume
 	// still refuses it.
-	entries, err := readJournal(journal)
+	entries, err := jnl.Read(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestQssdCompactJournal(t *testing.T) {
 	runJSON(t, "-gen", "3", "-gen-seed", "50", "-journal", journal)
 	runJSON(t, "-gen", "3", "-gen-seed", "50", "-journal", journal)
 
-	quarantined, err := json.Marshal(journalEntry{
+	quarantined, err := json.Marshal(jnl.Entry{
 		Hash:   genHash(60),
 		Source: "gen:60",
 		Status: string(engine.StatusPanicked),
@@ -179,7 +180,7 @@ func TestQssdCompactJournal(t *testing.T) {
 	}
 	f.Close()
 
-	before, err := readJournal(journal)
+	before, err := jnl.Read(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestQssdCompactJournal(t *testing.T) {
 	}
 	var prevHash string
 	for _, line := range lines {
-		var ent journalEntry
+		var ent jnl.Entry
 		if err := json.Unmarshal(line, &ent); err != nil {
 			t.Fatalf("compacted line %q: %v", line, err)
 		}
@@ -212,7 +213,7 @@ func TestQssdCompactJournal(t *testing.T) {
 		prevHash = ent.Hash
 	}
 
-	after, err := readJournal(journal)
+	after, err := jnl.Read(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestQssdJournalRoundTripsTiming(t *testing.T) {
 	if err := run([]string{"-journal", journal, "-compact"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := readJournal(journal)
+	entries, err := jnl.Read(journal)
 	if err != nil {
 		t.Fatal(err)
 	}

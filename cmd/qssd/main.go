@@ -1,16 +1,29 @@
-// Command qssd is the batch front end of the concurrent analysis engine:
-// it loads a corpus of nets — from a manifest file, from .pn files on the
-// command line, or generated on the fly — analyses them concurrently
-// through the shared content-addressed cache, and writes one JSON report
-// with per-net results, per-net phase traces and timings plus the
-// engine's cache, worker and lifetime-trace counters.
+// Command qssd is the front end of the concurrent analysis engine. It
+// runs in four modes:
+//
+//   - Batch (default): load a corpus of nets — from a manifest file,
+//     from .pn files on the command line, or generated on the fly —
+//     analyse them concurrently through the shared content-addressed
+//     cache, and write one JSON report with per-net results, per-net
+//     phase traces and timings plus the engine's cache, worker and
+//     lifetime-trace counters.
+//   - Service ("qssd serve"): expose the engine as a long-running
+//     sharded HTTP/JSON service (see docs/SERVICE.md).
+//   - Client ("qssd -server URL"): drive the corpus through a running
+//     service instead of an in-process engine and emit the same JSON
+//     batch report, plus request throughput and cache-marker tallies.
+//   - Merge ("qssd -merge"): fold several journals (e.g. the per-shard
+//     journals a service writes) into one compacted journal.
 //
 // Usage:
 //
 //	qssd [-manifest list.txt] [-gen N] [-gen-seed S] [-workers W]
 //	     [-repeat R] [-compare-serial] [-cpuprofile f] [-trace f]
 //	     [-journal f.jsonl] [-resume] [-job-timeout d] [-submit-window W]
-//	     [-o report.json] [file.pn ...]
+//	     [-server URL] [-o report.json] [file.pn ...]
+//	qssd -merge -journal out.jsonl in1.jsonl [in2.jsonl ...]
+//	qssd serve [-addr host:port] [-shards N] [-journal-dir dir]
+//	     [-workers W] [-submit-window W] [-job-timeout d]
 //
 // A manifest is a text file with one .pn path per line ('#' comments);
 // relative paths resolve against the manifest's directory.
@@ -36,26 +49,20 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
-	"strings"
 	"time"
 
-	"fcpn"
 	"fcpn/internal/engine"
-	"fcpn/internal/engine/stats"
-	"fcpn/internal/netgen"
+	"fcpn/internal/journal"
 	"fcpn/internal/petri"
 	"fcpn/internal/timing"
-	"fcpn/internal/trace"
 )
 
 func main() {
@@ -65,66 +72,17 @@ func main() {
 	}
 }
 
-// batchReport is the JSON document qssd emits (also the BENCH_engine.json
-// payload). Per-net reports are deterministic; timings are not.
-type batchReport struct {
-	Workers int `json:"workers"`
-	Repeat  int `json:"repeat"`
-	Nets    int `json:"nets"`
-	Jobs    int `json:"jobs"`
-	// GoMaxProcs and NumCPU describe the host's real parallelism: with
-	// GOMAXPROCS=1 every speedup is bounded by 1.0 regardless of worker
-	// count.
-	GoMaxProcs int `json:"gomaxprocs"`
-	NumCPU     int `json:"num_cpu"`
-	// ParallelismWarning is set when the host gives the process a single
-	// scheduling slot (GOMAXPROCS=1): every parallel-speedup figure below
-	// is then bounded by 1.0 and says nothing about the engine.
-	ParallelismWarning string `json:"parallelism_warning,omitempty"`
-
-	// StatusCounts tallies per-net outcomes of the cold pass: "ok",
-	// "timeout", "panicked", "quarantined", "error", plus
-	// "skipped-resume" for nets rehydrated from a -resume journal.
-	StatusCounts map[string]int `json:"status_counts"`
-
-	// Cold pass: every distinct net once, empty cache.
-	ColdElapsedMS  float64 `json:"cold_elapsed_ms"`
-	ColdNetsPerSec float64 `json:"cold_nets_per_sec"`
-	// Warm passes (-repeat > 1): the same corpus against the warm cache.
-	WarmElapsedMS  float64 `json:"warm_elapsed_ms,omitempty"`
-	WarmNetsPerSec float64 `json:"warm_nets_per_sec,omitempty"`
-	// ElapsedMS is the total batch wall time (cold + warm passes).
-	ElapsedMS float64 `json:"elapsed_ms"`
-
-	Stats stats.Snapshot `json:"stats"`
-
-	// SerialColdElapsedMS and Speedup are present with -compare-serial:
-	// the cold pass rerun on a fresh one-worker engine, and the ratio
-	// serial/parallel of the two cold passes.
-	SerialColdElapsedMS float64 `json:"serial_cold_elapsed_ms,omitempty"`
-	Speedup             float64 `json:"speedup,omitempty"`
-
-	Results []netResult `json:"results"`
-}
-
-// netResult is one corpus entry: where the net came from, its
-// deterministic report, this run's cold-pass wall-clock analysis time and
-// the cold pass's per-phase trace (whose non-detail phases sum to
-// ElapsedMS modulo scheduling glue).
-type netResult struct {
-	Source    string            `json:"source"`
-	ElapsedMS float64           `json:"elapsed_ms"`
-	Trace     *trace.Report     `json:"trace,omitempty"`
-	Report    *engine.NetReport `json:"report"`
-	// Status is the job outcome ("ok", "timeout", "panicked",
-	// "quarantined", "error", "skipped-resume"); Error carries the typed
-	// job error's message for every non-ok status.
-	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
-}
-
-// run is the testable core of the command.
+// run is the testable core of the command: it dispatches between the
+// service mode ("serve" subcommand) and the flag-driven batch / client /
+// merge modes.
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout)
+	}
+	return runBatch(args, stdout)
+}
+
+func runBatch(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("qssd", flag.ContinueOnError)
 	manifest := fs.String("manifest", "", "text file listing .pn files, one per line")
 	gen := fs.Int("gen", 0, "generate N schedulable pipeline nets instead of/alongside files")
@@ -137,12 +95,17 @@ func run(args []string, stdout io.Writer) error {
 	journalPath := fs.String("journal", "", "append one JSON line per completed job to this file (crash-safe checkpoint)")
 	resume := fs.Bool("resume", false, "skip nets already journalled \"ok\" (requires -journal)")
 	compact := fs.Bool("compact", false, "rewrite -journal to one line per canonical hash (later entries win) and exit")
+	merge := fs.Bool("merge", false, "fold the positional journal files into -journal (later files win) and exit")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-net analysis deadline (0 = none)")
 	submitWindow := fs.Int("submit-window", 0, "max jobs in flight at once (0 = 2x workers)")
 	mkFlag := fs.String("mk", "", "check each schedulable net against the weakly-hard (m,k) constraint, e.g. -mk 9,10")
 	marginFlag := fs.Bool("margin", false, "with -mk: search per-net overload margins (burst and overrun)")
+	serverURL := fs.String("server", "", "drive the corpus through a running qssd service at this base URL instead of an in-process engine")
 	out := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateEngineFlags(*workers, *submitWindow, *jobTimeout); err != nil {
 		return err
 	}
 	if *repeat < 1 {
@@ -155,11 +118,26 @@ func run(args []string, stdout io.Writer) error {
 		if *journalPath == "" {
 			return fmt.Errorf("-compact requires -journal")
 		}
-		before, after, err := compactJournal(*journalPath)
+		before, after, err := journal.Compact(*journalPath)
 		if err != nil {
 			return fmt.Errorf("compacting journal: %w", err)
 		}
 		fmt.Fprintf(stdout, "compacted %s: %d lines -> %d entries\n", *journalPath, before, after)
+		return nil
+	}
+	if *merge {
+		if *journalPath == "" {
+			return fmt.Errorf("-merge requires -journal (the output file)")
+		}
+		inputs := fs.Args()
+		if len(inputs) == 0 {
+			return fmt.Errorf("-merge requires input journal files as arguments")
+		}
+		lines, entries, err := journal.Merge(*journalPath, inputs)
+		if err != nil {
+			return fmt.Errorf("merging journals: %w", err)
+		}
+		fmt.Fprintf(stdout, "merged %d journals: %d lines -> %d entries\n", len(inputs), lines, entries)
 		return nil
 	}
 
@@ -171,9 +149,18 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("empty corpus: give .pn files, -manifest, or -gen")
 	}
 
-	var prior map[string]journalEntry
+	if *serverURL != "" {
+		return runClient(clientConfig{
+			BaseURL: *serverURL,
+			Workers: *workers,
+			Repeat:  *repeat,
+			Out:     *out,
+		}, sources, nets, stdout)
+	}
+
+	var prior map[string]journal.Entry
 	if *resume {
-		if prior, err = readJournal(*journalPath); err != nil {
+		if prior, err = journal.Read(*journalPath); err != nil {
 			return fmt.Errorf("reading journal: %w", err)
 		}
 	}
@@ -245,9 +232,9 @@ func run(args []string, stdout io.Writer) error {
 		todo = append(todo, i)
 	}
 
-	var jw *journalWriter
+	var jw *journal.Writer
 	if *journalPath != "" {
-		if jw, err = openJournal(*journalPath); err != nil {
+		if jw, err = journal.Open(*journalPath); err != nil {
 			return err
 		}
 	}
@@ -271,7 +258,7 @@ func run(args []string, stdout io.Writer) error {
 		if r.Err != nil {
 			final[i].Error = r.Err.Error()
 		}
-		jw.record(journalEntry{
+		jw.Record(journal.Entry{
 			Hash:      r.Report.Hash,
 			Source:    sources[i],
 			Status:    string(r.Status),
@@ -313,7 +300,7 @@ func run(args []string, stdout io.Writer) error {
 		StatusCounts:  map[string]int{},
 		ColdElapsedMS: msOf(cold),
 		ElapsedMS:     msOf(cold + warm),
-		Stats:         snap,
+		Stats:         &snap,
 		Results:       final,
 	}
 	if rep.GoMaxProcs == 1 {
@@ -344,9 +331,31 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	return writeReport(&rep, *out, stdout)
+}
+
+// validateEngineFlags rejects negative engine sizing flags up front with
+// a targeted message; the engine itself treats non-positive values as
+// "use the default", which would silently mask a typo like -workers -4.
+func validateEngineFlags(workers, submitWindow int, jobTimeout time.Duration) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if submitWindow < 0 {
+		return fmt.Errorf("-submit-window must be >= 0 (0 = 2x workers), got %d", submitWindow)
+	}
+	if jobTimeout < 0 {
+		return fmt.Errorf("-job-timeout must be >= 0 (0 = none), got %v", jobTimeout)
+	}
+	return nil
+}
+
+// writeReport emits the batch report as indented JSON to path, or to
+// stdout when path is empty.
+func writeReport(rep *batchReport, path string, stdout io.Writer) error {
 	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
@@ -355,65 +364,5 @@ func run(args []string, stdout io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(&rep)
-}
-
-func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
-
-// loadCorpus assembles the net list: manifest entries, then positional
-// files, then generated nets. Sources are the file paths, or "gen:<seed>"
-// for generated nets.
-func loadCorpus(manifest string, files []string, gen int, genSeed uint64) ([]string, []*petri.Net, error) {
-	var sources []string
-	var nets []*petri.Net
-	add := func(path string) error {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		n, err := fcpn.Parse(f)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		sources = append(sources, path)
-		nets = append(nets, n)
-		return nil
-	}
-
-	if manifest != "" {
-		f, err := os.Open(manifest)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer f.Close()
-		dir := filepath.Dir(manifest)
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			if !filepath.IsAbs(line) {
-				line = filepath.Join(dir, line)
-			}
-			if err := add(line); err != nil {
-				return nil, nil, err
-			}
-		}
-		if err := sc.Err(); err != nil {
-			return nil, nil, err
-		}
-	}
-	for _, path := range files {
-		if err := add(path); err != nil {
-			return nil, nil, err
-		}
-	}
-	for i := 0; i < gen; i++ {
-		seed := genSeed + uint64(i)
-		sources = append(sources, fmt.Sprintf("gen:%d", seed))
-		nets = append(nets, netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig()))
-	}
-	return sources, nets, nil
+	return enc.Encode(rep)
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fcpn/internal/engine"
+	"fcpn/internal/server"
+)
+
+// serveSignals returns the channel shutdown signals arrive on and a
+// release function. Tests swap it to drive a graceful shutdown without
+// signalling the whole test process.
+var serveSignals = func() (<-chan os.Signal, func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch, func() { signal.Stop(ch) }
+}
+
+// runServe runs the long-lived sharded analysis service: bind, print the
+// bound address (so -addr :0 is usable), serve until SIGINT/SIGTERM,
+// then drain — stop accepting, let in-flight analyses finish, flush the
+// shard journals — and exit.
+func runServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qssd serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	shards := fs.Int("shards", 1, "number of in-process shard engines (work partitions by canonical-hash prefix)")
+	journalDir := fs.String("journal-dir", "", "directory for per-shard journals (shard-<i>.jsonl), replayed on boot")
+	workers := fs.Int("workers", 0, "per-shard worker-pool size (0 = GOMAXPROCS)")
+	submitWindow := fs.Int("submit-window", 0, "per-shard admission window: in-flight analyses before 429 (0 = 2x workers)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-request analysis deadline (0 = none)")
+	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = 1 MiB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateEngineFlags(*workers, *submitWindow, *jobTimeout); err != nil {
+		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Args())
+	}
+
+	srv, err := server.New(server.Config{
+		Shards:     *shards,
+		JournalDir: *journalDir,
+		Engine: engine.Config{
+			Workers:      *workers,
+			SubmitWindow: *submitWindow,
+			JobTimeout:   *jobTimeout,
+		},
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(stdout, "qssd: serving on http://%s (%d shards)\n", ln.Addr(), srv.Shards())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	sig, release := serveSignals()
+	defer release()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sig
+		// Flip readiness first so load balancers stop routing here, then
+		// stop the listener; in-flight HTTP requests get a grace period.
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		srv.Close()
+		return err
+	}
+	<-done
+	// HTTP is down; Close waits for engine jobs and flushes journals.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "qssd: drained and flushed")
+	return nil
+}

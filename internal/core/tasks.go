@@ -126,6 +126,10 @@ func partitionWith(n *petri.Net, tis []invariant.TInvariant) *TaskPartition {
 		for i, s := range task.Sources {
 			names[i] = n.TransitionName(s)
 		}
+		// Name-sort so the task's identity depends on which sources it
+		// owns, not on the order the net happened to declare them —
+		// isomorphic nets must synthesise identically named tasks.
+		sort.Strings(names)
 		task.Name = "task_" + strings.Join(names, "_")
 		tp.Tasks = append(tp.Tasks, task)
 	}

@@ -241,8 +241,11 @@ func (e *Engine) coreOpts(ctx context.Context, tr *trace.Tracer) core.Options {
 	return opt
 }
 
-// submitWindow is the effective AnalyzeEach backpressure window.
-func (e *Engine) submitWindow() int {
+// SubmitWindow is the effective backpressure window: Config.SubmitWindow,
+// or 2×Workers when unset. AnalyzeEach bounds its in-flight jobs by it;
+// the HTTP service sizes its admission semaphore from it so a full
+// window turns into a 429 instead of an unbounded queue.
+func (e *Engine) SubmitWindow() int {
 	if e.cfg.SubmitWindow > 0 {
 		return e.cfg.SubmitWindow
 	}
@@ -272,6 +275,17 @@ func (e *Engine) jobContext() (context.Context, context.CancelFunc) {
 // journalled panics.
 func (e *Engine) Quarantine(hash, reason string) {
 	e.quarantine.LoadOrStore(hash, reason)
+}
+
+// QuarantineReason reports whether hash is quarantined and, if so, why.
+// The HTTP service fronts its admission check with this so a poisoned
+// net is refused with its recorded reason instead of re-running.
+func (e *Engine) QuarantineReason(hash string) (string, bool) {
+	reason, ok := e.quarantine.Load(hash)
+	if !ok {
+		return "", false
+	}
+	return reason.(string), true
 }
 
 // QuarantinedHashes lists the quarantined canonical hashes, sorted.
@@ -343,7 +357,7 @@ func (e *Engine) AnalyzeBatch(nets []*petri.Net) ([]Result, error) {
 // memory beyond the results the caller retains is O(window). qssd's
 // crash-safe journal hangs off this callback.
 func (e *Engine) AnalyzeEach(nets []*petri.Net, onDone func(i int, r Result)) error {
-	window := e.submitWindow()
+	window := e.SubmitWindow()
 	slots := make(chan struct{}, window)
 	var wg sync.WaitGroup
 	for i, n := range nets {
@@ -458,25 +472,36 @@ type cachedCycle struct {
 // canonical payload, which is what makes warm results byte-identical to
 // cold ones. Solve failures are returned, never cached.
 //
-// reds, when non-nil, is the distinct-reduction set the caller already
-// enumerated for this net (reductions()): the miss path sweeps it
-// directly instead of re-enumerating, and the rebuild reuses its
-// Reduction objects instead of re-running Reduce per cycle. Nil — the
-// warm path, or a caller without the set — falls back to the
-// self-contained computation.
-func (e *Engine) schedule(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm, reds []*core.Reduction, tr *trace.Tracer) (*core.Schedule, error) {
+// The miss path never solves the caller's net directly: the solver
+// explores allocations and firings in index order and may return any of
+// several valid schedules, so two isomorphic nets solved as-declared
+// would cache different payloads depending on which arrived first — and
+// two *cold* runs of the same class would diverge. Instead it solves the
+// canonical twin (petri.CanonicalNet), which is byte-identical for every
+// member of the class, making the cached payload a function of the
+// canonical hash alone.
+//
+// fresh, when non-nil, carries the twin and the distinct-reduction set
+// reductions() already enumerated on it this job: the miss path sweeps
+// that set directly instead of re-enumerating. Nil — the warm path, or a
+// caller without the set — rebuilds the twin and solves from scratch.
+func (e *Engine) schedule(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm, fresh *twinReds, tr *trace.Tracer) (*core.Schedule, error) {
 	v, err := e.cache.getOrCompute(schedKey(cf.Hash), func() (any, error) {
+		tw := fresh
+		if tw == nil {
+			tw = &twinReds{net: n.CanonicalNet()}
+		}
 		var s *core.Schedule
 		var err error
-		if reds != nil && !e.cfg.Core.KeepDuplicateReductions {
-			s, err = core.SolveReductions(n, reds, e.coreOpts(ctx, tr))
+		if tw.reds != nil && !e.cfg.Core.KeepDuplicateReductions {
+			s, err = core.SolveReductions(tw.net, tw.reds, e.coreOpts(ctx, tr))
 		} else {
-			s, err = core.Solve(n, e.coreOpts(ctx, tr))
+			s, err = core.Solve(tw.net, e.coreOpts(ctx, tr))
 		}
 		if err != nil {
 			return nil, err
 		}
-		enc := encodeSchedule(toCachedSchedule(cf, s))
+		enc := encodeSchedule(toCachedSchedule(identityForm(tw.net), s))
 		tr.Add("cache/sched/bytes", int64(len(enc)))
 		return enc, nil
 	})
@@ -489,7 +514,38 @@ func (e *Engine) schedule(ctx context.Context, n *petri.Net, cf *petri.Canonical
 	if err != nil {
 		return nil, err
 	}
-	return rebuildSchedule(n, cf, cs, reds)
+	return rebuildSchedule(n, cf, cs)
+}
+
+// twinReds carries a freshly enumerated distinct-reduction set together
+// with the canonical twin net it was enumerated on, for hand-off from
+// reductions() to schedule() within one cold job.
+type twinReds struct {
+	net  *petri.Net
+	reds []*core.Reduction
+}
+
+// identityForm is the canonical form of a canonical twin: the twin is
+// built with places and transitions in canonical position order, so its
+// canonical relabelling is the identity by construction. Building it
+// directly spares the twin a second WL refinement pass, which profiling
+// showed roughly tripling the reductions layer.
+func identityForm(n *petri.Net) *petri.CanonicalForm {
+	cf := &petri.CanonicalForm{
+		PlaceAt:  make([]petri.Place, n.NumPlaces()),
+		TransAt:  make([]petri.Transition, n.NumTransitions()),
+		PlacePos: make([]int, n.NumPlaces()),
+		TransPos: make([]int, n.NumTransitions()),
+	}
+	for i := range cf.PlaceAt {
+		cf.PlaceAt[i] = petri.Place(i)
+		cf.PlacePos[i] = i
+	}
+	for i := range cf.TransAt {
+		cf.TransAt[i] = petri.Transition(i)
+		cf.TransPos[i] = i
+	}
+	return cf
 }
 
 func toCachedSchedule(cf *petri.CanonicalForm, s *core.Schedule) *cachedSchedule {
@@ -516,23 +572,18 @@ func toCachedSchedule(cf *petri.CanonicalForm, s *core.Schedule) *cachedSchedule
 	return cs
 }
 
-func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule, reds []*core.Reduction) (*core.Schedule, error) {
+// rebuildSchedule maps a canonical-space payload into n's index space.
+// The per-cycle Reduce below recomputes what the solver already derived
+// on the twin, but in *local* space; Reduce is deterministic in the
+// allocation, so every member of the isomorphism class rebuilds the same
+// schedule from the same payload.
+func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule) (*core.Schedule, error) {
 	clusters := n.FreeChoiceSets()
 	clusterOf := map[petri.Place]int{}
 	for i, c := range clusters {
 		for _, p := range c.Places {
 			clusterOf[p] = i
 		}
-	}
-	// Cold path: the caller's enumerated reductions carry exactly the
-	// allocations the cached cycles were derived from, so the Reduce per
-	// cycle below is redundant — index them by chosen-transition vector
-	// and reuse. Warm rebuilds (reds == nil, possibly a different
-	// isomorphic net) recompute; Reduce is deterministic in the
-	// allocation, so both paths produce identical schedules.
-	byChosen := make(map[string]*core.Reduction, len(reds))
-	for _, r := range reds {
-		byChosen[chosenKey(r.Allocation.Chosen)] = r
 	}
 	sched := &core.Schedule{Net: n, AllocationCount: core.CountAllocations(n)}
 	for _, cc := range cs.cycles {
@@ -553,10 +604,7 @@ func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule, 
 			}
 			chosen[ci] = t
 		}
-		red := byChosen[chosenKey(chosen)]
-		if red == nil {
-			red = core.Reduce(n, &core.Allocation{Clusters: clusters, Chosen: chosen})
-		}
+		red := core.Reduce(n, &core.Allocation{Clusters: clusters, Chosen: chosen})
 		sched.Cycles = append(sched.Cycles, core.Cycle{
 			Sequence:  seq,
 			Counts:    n.FiringCount(seq),
@@ -566,39 +614,64 @@ func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule, 
 	return sched, nil
 }
 
-// chosenKey is a map key for an allocation's chosen-transition vector
-// (clusters are always in petri.FreeChoiceSets order).
-func chosenKey(chosen []petri.Transition) string {
-	b := make([]byte, 0, 4*len(chosen))
-	for _, t := range chosen {
-		b = appendInt(b, int(t))
-		b = append(b, ',')
+// mapReductionsToTwin re-derives each distinct reduction on the
+// canonical twin: the allocation translates through the canonical
+// permutation and Reduce — deterministic in (net, allocation) — rebuilds
+// the subnet in twin space. Sorting by twin transition-set key then makes
+// the solver's input depend only on the isomorphism class.
+//
+// Enumerating directly on the twin would also work, but the lazy
+// branching search's cost is sensitive to cluster index order (up to ~4x
+// more Reduce calls on some nets under the canonical order); mapping
+// costs exactly one Reduce per distinct reduction.
+func mapReductionsToTwin(cf *petri.CanonicalForm, twin *petri.Net, reds []*core.Reduction) []*core.Reduction {
+	clusters := twin.FreeChoiceSets()
+	clusterOf := map[petri.Place]int{}
+	for i, c := range clusters {
+		for _, p := range c.Places {
+			clusterOf[p] = i
+		}
 	}
-	return string(b)
-}
-
-func appendInt(b []byte, v int) []byte {
-	if v >= 10 {
-		b = appendInt(b, v/10)
+	out := make([]*core.Reduction, len(reds))
+	for i, r := range reds {
+		chosen := make([]petri.Transition, len(clusters))
+		for k, c := range clusters {
+			chosen[k] = c.Transitions[0]
+		}
+		la := r.Allocation
+		for k, cluster := range la.Clusters {
+			ci := clusterOf[petri.Place(cf.PlacePos[cluster.Places[0]])]
+			chosen[ci] = petri.Transition(cf.TransPos[la.Chosen[k]])
+		}
+		out[i] = core.Reduce(twin, &core.Allocation{Clusters: clusters, Chosen: chosen})
 	}
-	return append(b, byte('0'+v%10))
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].Sub.TransitionSetKey() < out[b].Sub.TransitionSetKey()
+	})
+	return out
 }
 
 // reductions returns, per distinct T-reduction, the canonically sorted
 // kept-transition sets, mapped to the net's transitions. The second
-// return is the raw reduction set in enumeration order when THIS call
+// return is the fresh reduction set in twin space when THIS call
 // computed it (a cache miss this goroutine won): analyze hands it to
 // schedule() so a cold job enumerates reductions exactly once. On hits —
 // and for singleflight waiters — it is nil.
-func (e *Engine) reductions(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Transition, []*core.Reduction, error) {
+//
+// Enumeration runs on the caller's net (the search is cheapest in the
+// order the allocation tree was grown for), then the distinct set is
+// mapped onto the canonical twin for the solve, which needs twin-space
+// reductions in class-invariant order.
+func (e *Engine) reductions(ctx context.Context, n *petri.Net, cf *petri.CanonicalForm) ([][]petri.Transition, *twinReds, error) {
 	max := e.cfg.Core.MaxAllocations
-	var fresh []*core.Reduction
+	var fresh *twinReds
 	v, err := e.cache.getOrCompute("reds:"+cf.Hash, func() (any, error) {
 		reds, err := core.EnumerateDistinctReductionsCtx(ctx, n, max)
 		if err != nil {
 			return nil, err
 		}
-		fresh = reds
+		twin := n.CanonicalNet()
+		fresh = &twinReds{net: twin, reds: mapReductionsToTwin(cf, twin, reds)}
 		rows := make([][]int, len(reds))
 		for i, r := range reds {
 			row := make([]int, len(r.Sub.ParentTransition))
@@ -813,8 +886,8 @@ func (e *Engine) analyzeTraced(ctx context.Context, n *petri.Net, cf *petri.Cano
 		Arcs:        len(n.Arcs()),
 		Class:       n.Classify(),
 		FreeChoice:  n.IsFreeChoice(),
-		Sources:     names(n, n.SourceTransitions()),
-		Sinks:       names(n, n.SinkTransitions()),
+		Sources:     sortedNames(n, n.SourceTransitions()),
+		Sinks:       sortedNames(n, n.SinkTransitions()),
 		FreeChoices: len(n.FreeChoiceSets()),
 	}
 	sp.End()
@@ -878,9 +951,15 @@ func (e *Engine) analyzeTraced(ctx context.Context, n *petri.Net, cf *petri.Cano
 		}
 		fail("reductions", err)
 	} else {
+		// Reduction survivor sets are name-sorted (and the list of sets
+		// name-ordered) so the report serialises identically for
+		// isomorphic nets regardless of declaration order.
 		for _, ts := range rows {
-			rep.Reductions = append(rep.Reductions, n.SequenceNames(ts))
+			rep.Reductions = append(rep.Reductions, sortedNames(n, ts))
 		}
+		sort.Slice(rep.Reductions, func(a, b int) bool {
+			return lessStrings(rep.Reductions[a], rep.Reductions[b])
+		})
 	}
 	sp.End()
 
@@ -928,10 +1007,13 @@ func (e *Engine) analyzeTraced(ctx context.Context, n *petri.Net, cf *petri.Cano
 		for _, task := range tp.Tasks {
 			rep.Tasks = append(rep.Tasks, TaskReport{
 				Name:        task.Name,
-				Sources:     names(n, task.Sources),
-				Transitions: names(n, task.Transitions),
+				Sources:     sortedNames(n, task.Sources),
+				Transitions: sortedNames(n, task.Transitions),
 			})
 		}
+		// Task order, like task names, must not depend on declaration
+		// order (names are unique: one task per source group).
+		sort.Slice(rep.Tasks, func(a, b int) bool { return rep.Tasks[a].Name < rep.Tasks[b].Name })
 	}
 	sp.End()
 

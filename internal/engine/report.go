@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"fcpn/internal/codegen"
 	"fcpn/internal/core"
 	"fcpn/internal/petri"
@@ -89,4 +91,26 @@ func names(n *petri.Net, ts []petri.Transition) []string {
 		return nil
 	}
 	return n.SequenceNames(ts)
+}
+
+// sortedNames renders a transition *set* as name-sorted strings. Report
+// fields that are sets (sources, sinks, reduction survivors, task
+// members) must serialise identically for isomorphic nets, so their
+// order cannot come from transition indices — those depend on
+// declaration order. Sequences (schedules) keep their semantic order.
+func sortedNames(n *petri.Net, ts []petri.Transition) []string {
+	out := names(n, ts)
+	sort.Strings(out)
+	return out
+}
+
+// lessStrings is lexicographic order on string slices, for sorting
+// lists of name-sets deterministically.
+func lessStrings(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }

@@ -1,0 +1,230 @@
+// Package journal is the crash-safe checkpoint log shared by the qssd
+// batch front end and the analysis service: one JSON line per completed
+// job, keyed by the net's canonical structural hash — the same key the
+// engine's cache and quarantine use, so a renamed but structurally
+// identical net still resumes against it. The format is append-only
+// JSONL; a killed writer leaves at worst one torn final line, and every
+// reader tolerates exactly that.
+//
+// Lifecycle: a Writer appends entries as jobs complete; Read folds a
+// journal into a hash-keyed map (later lines win); Compact rewrites a
+// journal to one line per hash; Merge folds several shard journals into
+// one using the same later-wins codec. Compact and Merge both write
+// through a temporary file renamed over the destination, so a crash
+// mid-rewrite never loses a journal.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"fcpn/internal/engine"
+)
+
+// Entry is one journal line. Status is the engine's JobStatus vocabulary
+// plus the qssd-level "skipped-resume"; Report is the full deterministic
+// NetReport for completed jobs (nil for refusals journalled before any
+// analysis ran).
+type Entry struct {
+	Hash      string            `json:"hash"`
+	Source    string            `json:"source"`
+	Status    string            `json:"status"`
+	Error     string            `json:"error,omitempty"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Report    *engine.NetReport `json:"report,omitempty"`
+}
+
+// Writer appends entries to a journal file. Writes go straight to the
+// file descriptor (no userspace buffering), so a completed record
+// survives a process kill; only a write torn mid-line is lost, and Read
+// tolerates that. Record is goroutine-safe: the batch engine serialises
+// its completion callbacks, but the HTTP service journals from
+// concurrent request handlers.
+type Writer struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// Open opens (or creates) the journal for appending. If a previous
+// writer was killed mid-line, the torn fragment is newline-terminated so
+// new entries cannot concatenate onto it — it stays an isolated,
+// skippable line.
+func Open(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return &Writer{f: f}, nil
+}
+
+// Record appends one entry. The first write error sticks and is reported
+// by Close, so the caller's analysis loop never aborts mid-batch over a
+// full disk. A nil Writer is a no-op, so callers can journal
+// unconditionally.
+func (w *Writer) Record(ent Entry) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	b, err := json.Marshal(ent)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.f.Write(append(b, '\n')); err != nil {
+		w.err = err
+	}
+}
+
+// Close closes the file and reports the first error seen.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cerr := w.f.Close()
+	if w.err != nil {
+		return w.err
+	}
+	return cerr
+}
+
+// Read loads a journal into a hash-keyed map. Later entries win (a
+// resumed run re-journals the nets it re-analyses). Unparsable lines are
+// skipped: the journal is append-only, so the only malformed line a
+// crash can produce is a torn final one.
+func Read(path string) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	_, err := foldInto(out, path)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// foldInto streams one journal's lines into entries (later lines win)
+// and returns the number of lines seen, torn tail included.
+func foldInto(entries map[string]Entry, path string) (lines int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if len(line) > 0 {
+			lines++
+			var ent Entry
+			if jerr := json.Unmarshal(line, &ent); jerr == nil && ent.Hash != "" {
+				entries[ent.Hash] = ent
+			}
+		}
+		if rerr == io.EOF {
+			return lines, nil
+		}
+		if rerr != nil {
+			return lines, rerr
+		}
+	}
+}
+
+// writeSorted writes the entries sorted by hash to path via a temporary
+// file renamed over the destination — the shared codec of Compact and
+// Merge. Sorting makes the output deterministic; the rename makes the
+// rewrite atomic.
+func writeSorted(path string, entries map[string]Entry) error {
+	hashes := make([]string, 0, len(entries))
+	for h := range entries {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".rewrite-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	for _, h := range hashes {
+		b, err := json.Marshal(entries[h])
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Compact rewrites the journal in place to one line per canonical hash,
+// keeping the latest entry for each — the exact state a resume would
+// reconstruct, including quarantine records (a panicked or quarantined
+// entry is the latest for its hash until the net is successfully
+// re-analysed, so later-wins preserves it). Returns the line count
+// before and the entry count after.
+func Compact(path string) (before, after int, err error) {
+	entries := map[string]Entry{}
+	before, err = foldInto(entries, path)
+	if err != nil {
+		return before, 0, err
+	}
+	if err := writeSorted(path, entries); err != nil {
+		return before, 0, err
+	}
+	return before, len(entries), nil
+}
+
+// Merge folds several journals — typically one per service shard — into
+// a single compacted journal at out. Inputs are folded in argument
+// order, so for a hash that (unexpectedly — shards partition by hash
+// prefix) appears in several inputs, the later input wins, matching
+// Compact's later-wins rule within a file. Quarantine records survive
+// exactly as under Compact: a panicked/quarantined entry is the latest
+// for its hash until some input holds a successful re-analysis. Torn
+// tail lines in any input are skipped. out may be one of the inputs; the
+// rewrite is atomic. Returns the total input line count and the merged
+// entry count.
+func Merge(out string, inputs []string) (lines, entries int, err error) {
+	if len(inputs) == 0 {
+		return 0, 0, fmt.Errorf("journal: merge needs at least one input journal")
+	}
+	merged := map[string]Entry{}
+	for _, in := range inputs {
+		n, err := foldInto(merged, in)
+		lines += n
+		if err != nil {
+			return lines, 0, fmt.Errorf("journal: reading %s: %w", in, err)
+		}
+	}
+	if err := writeSorted(out, merged); err != nil {
+		return lines, 0, err
+	}
+	return lines, len(merged), nil
+}

@@ -1,0 +1,240 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fcpn/internal/engine"
+)
+
+// write builds a journal file from entries, one line each, optionally
+// followed by a torn (newline-less, half-written) tail.
+func write(t *testing.T, path string, torn string, entries ...Entry) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, ent := range entries {
+		b, err := json.Marshal(ent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(append(b, '\n'))
+	}
+	buf.WriteString(torn)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterAppendsAndHealsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	write(t, path, `{"hash":"torn-mid`, Entry{Hash: "h1", Status: "ok"})
+
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Entry{Hash: "h2", Status: "ok"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn fragment must have been newline-terminated so the new
+	// entry sits on its own line.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3 (entry, torn, entry):\n%s", len(lines), raw)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["h1"].Status != "ok" || got["h2"].Status != "ok" {
+		t.Fatalf("read back %+v", got)
+	}
+}
+
+func TestReadLaterEntriesWin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	write(t, path, "",
+		Entry{Hash: "h", Source: "old", Status: string(engine.StatusTimeout)},
+		Entry{Hash: "h", Source: "new", Status: string(engine.StatusOK)},
+	)
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent := got["h"]; ent.Source != "new" || ent.Status != string(engine.StatusOK) {
+		t.Fatalf("later entry did not win: %+v", ent)
+	}
+}
+
+// TestMergeLaterInputWins pins the cross-journal conflict rule: when the
+// same hash appears in several shard journals, the later input wins —
+// the multi-file extension of Compact's later-lines-win.
+func TestMergeLaterInputWins(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "shard-0.jsonl")
+	b := filepath.Join(dir, "shard-1.jsonl")
+	write(t, a, "",
+		Entry{Hash: "h-conflict", Source: "shard0", Status: string(engine.StatusTimeout), Error: "engine: job deadline exceeded"},
+		Entry{Hash: "h-a", Source: "shard0", Status: string(engine.StatusOK)},
+	)
+	write(t, b, "",
+		Entry{Hash: "h-conflict", Source: "shard1", Status: string(engine.StatusOK)},
+		Entry{Hash: "h-b", Source: "shard1", Status: string(engine.StatusOK)},
+	)
+
+	out := filepath.Join(dir, "merged.jsonl")
+	lines, entries, err := Merge(out, []string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 4 || entries != 3 {
+		t.Fatalf("merge folded %d lines into %d entries, want 4 -> 3", lines, entries)
+	}
+	got, err := Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := got["h-conflict"]
+	if ent.Source != "shard1" || ent.Status != string(engine.StatusOK) || ent.Error != "" {
+		t.Fatalf("conflicting hash: later input must win, got %+v", ent)
+	}
+	if _, ok := got["h-a"]; !ok {
+		t.Error("merge lost shard-0-only entry")
+	}
+	if _, ok := got["h-b"]; !ok {
+		t.Error("merge lost shard-1-only entry")
+	}
+}
+
+// TestMergeTolerantOfTornTails checks a crash-torn final line in any
+// shard journal is skipped, not fatal, and does not shadow healthy
+// entries.
+func TestMergeTolerantOfTornTails(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "shard-0.jsonl")
+	b := filepath.Join(dir, "shard-1.jsonl")
+	write(t, a, `{"hash":"h-torn","status":"o`, Entry{Hash: "h-a", Status: string(engine.StatusOK)})
+	write(t, b, `{"hash":`, Entry{Hash: "h-b", Status: string(engine.StatusOK)})
+
+	out := filepath.Join(dir, "merged.jsonl")
+	lines, entries, err := Merge(out, []string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 4 || entries != 2 {
+		t.Fatalf("merge folded %d lines into %d entries, want 4 -> 2", lines, entries)
+	}
+	got, err := Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["h-torn"]; ok {
+		t.Error("torn tail line leaked into the merge")
+	}
+	if len(got) != 2 {
+		t.Fatalf("merged entries: %+v", got)
+	}
+}
+
+// TestMergePreservesQuarantine checks a panic/quarantine record survives
+// the merge when no input holds a later successful re-analysis — the
+// property that lets a coordinator fold shard journals without
+// resurrecting poisoned nets.
+func TestMergePreservesQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "shard-0.jsonl")
+	b := filepath.Join(dir, "shard-1.jsonl")
+	write(t, a, "",
+		Entry{Hash: "h-poison", Source: "gen:9", Status: string(engine.StatusPanicked), Error: "engine: job panicked: synthetic"},
+		Entry{Hash: "h-healed", Source: "gen:10", Status: string(engine.StatusPanicked), Error: "engine: job panicked: synthetic"},
+	)
+	write(t, b, "",
+		Entry{Hash: "h-ok", Source: "gen:11", Status: string(engine.StatusOK)},
+		// A later shard successfully re-analysed h-healed: that entry wins.
+		Entry{Hash: "h-healed", Source: "gen:10", Status: string(engine.StatusOK)},
+	)
+
+	out := filepath.Join(dir, "merged.jsonl")
+	if _, _, err := Merge(out, []string{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent := got["h-poison"]; ent.Status != string(engine.StatusPanicked) || ent.Error == "" {
+		t.Fatalf("merge lost the quarantine record: %+v", ent)
+	}
+	if ent := got["h-healed"]; ent.Status != string(engine.StatusOK) {
+		t.Fatalf("successful re-analysis must override the old panic: %+v", ent)
+	}
+}
+
+// TestMergeOutputMatchesCompactCodec checks Merge writes the same
+// hash-sorted one-line-per-entry format Compact does: merging a single
+// journal is byte-identical to compacting it.
+func TestMergeOutputMatchesCompactCodec(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "j.jsonl")
+	entries := []Entry{
+		{Hash: "zz", Status: string(engine.StatusOK)},
+		{Hash: "aa", Status: string(engine.StatusOK)},
+		{Hash: "zz", Status: string(engine.StatusTimeout), Error: "late"},
+		{Hash: "mm", Status: string(engine.StatusPanicked), Error: "boom"},
+	}
+	write(t, src, "", entries...)
+	merged := filepath.Join(dir, "merged.jsonl")
+	if _, n, err := Merge(merged, []string{src}); err != nil || n != 3 {
+		t.Fatalf("merge: n=%d err=%v", n, err)
+	}
+	if before, after, err := Compact(src); err != nil || before != 4 || after != 3 {
+		t.Fatalf("compact: %d -> %d, err=%v", before, after, err)
+	}
+	a, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merge and compact codecs diverge:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestMergeRequiresInputs(t *testing.T) {
+	if _, _, err := Merge(filepath.Join(t.TempDir(), "out.jsonl"), nil); err == nil {
+		t.Fatal("merge with no inputs must error")
+	}
+}
+
+// TestMergeIntoExistingInput checks out may be one of the inputs (the
+// coordinator folding shard journals over its own) without data loss.
+func TestMergeIntoExistingInput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "main.jsonl")
+	b := filepath.Join(dir, "shard-1.jsonl")
+	write(t, a, "", Entry{Hash: "h-a", Status: string(engine.StatusOK)})
+	write(t, b, "", Entry{Hash: "h-b", Status: string(engine.StatusOK)})
+	if _, n, err := Merge(a, []string{a, b}); err != nil || n != 2 {
+		t.Fatalf("merge: n=%d err=%v", n, err)
+	}
+	got, err := Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("in-place merge lost entries: %+v", got)
+	}
+}
