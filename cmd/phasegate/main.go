@@ -10,13 +10,16 @@
 //	phasegate -report run.json -baseline BENCH_phases.json -write   # refresh
 //	phasegate -report run.json -baseline BENCH_phases.json          # gate
 //
-// The gate compares total milliseconds per phase, not counts: for a fixed
-// corpus the counts are deterministic and a count change shows up as a
-// duration change anyway. Phases below -floor-ms in the baseline are
-// skipped — sub-millisecond phases are dominated by timer noise — and the
-// default regression factor of 2 leaves room for host-speed differences
-// while still catching the order-of-magnitude slips the trace exists to
-// expose. Plain JSON comparison, no external dependencies.
+// The gate compares both total milliseconds and invocation counts per
+// phase. Counts are deterministic for a fixed corpus, so the count gate
+// (-max-count-regress) is tight: it catches algorithmic regressions —
+// e.g. the reduction-class dedup silently degrading so every member is
+// checked from scratch again — that a host-relative time factor could
+// absorb. Phases below -floor-ms in the baseline are skipped entirely —
+// sub-millisecond phases are dominated by timer noise — and the default
+// time factor of 2 leaves room for host-speed differences while still
+// catching the order-of-magnitude slips the trace exists to expose.
+// Plain JSON comparison, no external dependencies.
 package main
 
 import (
@@ -68,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 	basePath := fs.String("baseline", "BENCH_phases.json", "committed phase baseline")
 	write := fs.Bool("write", false, "write/refresh the baseline from -report instead of gating")
 	factor := fs.Float64("max-regress", 2.0, "fail when a phase exceeds baseline total by this factor")
+	countFactor := fs.Float64("max-count-regress", 1.25, "fail when a phase's count exceeds baseline by this factor (0 disables)")
 	floorMS := fs.Float64("floor-ms", 5.0, "ignore phases whose baseline total is below this many ms")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,7 +135,14 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Sprintf("phase %s: %.2f ms vs baseline %.2f ms (limit %.2f ms at %gx)",
 					b.Name, c.TotalMS, b.TotalMS, limit, *factor))
 		}
-		fmt.Fprintf(stdout, "%-28s %10.2f ms  baseline %10.2f ms  %s\n", b.Name, c.TotalMS, b.TotalMS, status)
+		if *countFactor > 0 && float64(c.Count) > float64(b.Count)**countFactor {
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("phase %s: count %d vs baseline %d (limit %.0f at %gx)",
+					b.Name, c.Count, b.Count, float64(b.Count)**countFactor, *countFactor))
+		}
+		fmt.Fprintf(stdout, "%-28s %10.2f ms ×%-6d  baseline %10.2f ms ×%-6d  %s\n",
+			b.Name, c.TotalMS, c.Count, b.TotalMS, b.Count, status)
 	}
 	if checked == 0 {
 		return fmt.Errorf("baseline %s has no phases above the %.1f ms floor", *basePath, *floorMS)
@@ -140,9 +151,10 @@ func run(args []string, stdout io.Writer) error {
 		for _, f := range failures {
 			fmt.Fprintln(stdout, "regression:", f)
 		}
-		return fmt.Errorf("%d phase(s) regressed beyond %gx", len(failures), *factor)
+		return fmt.Errorf("%d phase(s) regressed beyond the allowed factors", len(failures))
 	}
-	fmt.Fprintf(stdout, "phase gate passed: %d phase(s) within %gx of baseline\n", checked, *factor)
+	fmt.Fprintf(stdout, "phase gate passed: %d phase(s) within %gx time / %gx count of baseline\n",
+		checked, *factor, *countFactor)
 	return nil
 }
 

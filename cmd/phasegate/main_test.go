@@ -10,7 +10,7 @@ import (
 
 // fakeReport writes a minimal qssd document: only the fields the gate
 // reads.
-func fakeReport(t *testing.T, dir, name string, solveMS, checkMS float64) string {
+func fakeReport(t *testing.T, dir, name string, solveMS, checkMS float64, checkCount int) string {
 	t.Helper()
 	doc := `{
   "gomaxprocs": 1,
@@ -18,7 +18,7 @@ func fakeReport(t *testing.T, dir, name string, solveMS, checkMS float64) string
     "trace": {
       "phases": [
         {"phase": "core/solve", "count": 20, "total_ms": ` + strconv.FormatFloat(solveMS, 'f', -1, 64) + `},
-        {"phase": "core/check", "count": 20, "total_ms": ` + strconv.FormatFloat(checkMS, 'f', -1, 64) + `, "detail": true},
+        {"phase": "core/check", "count": ` + strconv.Itoa(checkCount) + `, "total_ms": ` + strconv.FormatFloat(checkMS, 'f', -1, 64) + `, "detail": true},
         {"phase": "petri/classify", "count": 20, "total_ms": 0.3}
       ]
     }
@@ -33,7 +33,7 @@ func fakeReport(t *testing.T, dir, name string, solveMS, checkMS float64) string
 
 func TestPhaseGatePassAndFail(t *testing.T) {
 	dir := t.TempDir()
-	base := fakeReport(t, dir, "base.json", 100, 80)
+	base := fakeReport(t, dir, "base.json", 100, 80, 110)
 	baseline := filepath.Join(dir, "BENCH_phases.json")
 
 	var buf bytes.Buffer
@@ -48,10 +48,24 @@ func TestPhaseGatePassAndFail(t *testing.T) {
 	}
 
 	// 3x regression on core/solve: must fail at the default 2x factor.
-	slow := fakeReport(t, dir, "slow.json", 300, 80)
+	slow := fakeReport(t, dir, "slow.json", 300, 80, 110)
 	buf.Reset()
 	if err := run([]string{"-report", slow, "-baseline", baseline}, &buf); err == nil {
 		t.Fatalf("3x regression must fail the gate:\n%s", buf.String())
+	}
+
+	// Count regression at unchanged time: core/check jumping 110 → 580
+	// (the dedup silently disabled) must fail even though the time factor
+	// would pass it on a faster host.
+	uncollapsed := fakeReport(t, dir, "uncollapsed.json", 100, 80, 580)
+	buf.Reset()
+	if err := run([]string{"-report", uncollapsed, "-baseline", baseline}, &buf); err == nil {
+		t.Fatalf("count regression must fail the gate:\n%s", buf.String())
+	}
+	// ...and -max-count-regress=0 disables exactly that gate.
+	buf.Reset()
+	if err := run([]string{"-report", uncollapsed, "-baseline", baseline, "-max-count-regress", "0"}, &buf); err != nil {
+		t.Fatalf("count gate disabled must pass: %v\n%s", err, buf.String())
 	}
 
 	// A regression confined to a sub-floor phase (petri/classify holds

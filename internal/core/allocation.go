@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 
+	"fcpn/internal/invariant"
 	"fcpn/internal/petri"
 )
 
@@ -58,7 +60,8 @@ func EnumerateAllocations(n *petri.Net, max int) ([]*Allocation, error) {
 	clusters := n.FreeChoiceSets()
 	total := 1
 	for _, c := range clusters {
-		if total > max/len(c.Transitions)+1 {
+		// Exact overflow-free boundary: total*len > max ⟺ total > ⌊max/len⌋.
+		if total > max/len(c.Transitions) {
 			total = max + 1
 			break
 		}
@@ -93,16 +96,26 @@ func EnumerateAllocations(n *petri.Net, max int) ([]*Allocation, error) {
 }
 
 // CountAllocations returns the number of T-allocations without enumerating
-// them (product of cluster sizes), saturating at maxInt.
+// them (product of cluster sizes), saturating at math.MaxInt. Callers that
+// serialise the count should use CountAllocationsSat and mark saturation
+// explicitly rather than report the ceiling as a real count.
 func CountAllocations(n *petri.Net) int {
+	count, _ := CountAllocationsSat(n)
+	return count
+}
+
+// CountAllocationsSat is CountAllocations with an explicit saturation
+// flag: saturated is true when the true product exceeds math.MaxInt (the
+// returned count is then the ceiling, not the real value).
+func CountAllocationsSat(n *petri.Net) (count int, saturated bool) {
 	total := 1
 	for _, c := range n.FreeChoiceSets() {
-		if total > (1<<62)/len(c.Transitions) {
-			return 1 << 62
+		if total > math.MaxInt/len(c.Transitions) {
+			return math.MaxInt, true
 		}
 		total *= len(c.Transitions)
 	}
-	return total
+	return total, false
 }
 
 // EnumerateDistinctReductions produces every *distinct* T-reduction of the
@@ -124,11 +137,87 @@ func EnumerateDistinctReductions(n *petri.Net, maxReductions int) ([]*Reduction,
 // so a per-job deadline can interrupt an adversarial choice structure
 // mid-search.
 func EnumerateDistinctReductionsCtx(ctx context.Context, n *petri.Net, maxReductions int) ([]*Reduction, error) {
+	reds, _, err := enumerateDistinctReductions(ctx, n, maxReductions, nil)
+	return reds, err
+}
+
+// PrunedBranch records one branch of the lazy reduction search cut by the
+// prune-on-unschedulable rule: with the forced choices' excluded
+// transitions removed, no parent minimal T-semiflow avoiding them covers
+// Source, so — as far as the parent's semiflow cone can tell — every
+// completion of the branch yields a reduction failing Definition 3.5.
+type PrunedBranch struct {
+	// Excluded are the transitions removed by the branch's forced choices.
+	Excluded []petri.Transition
+	// Source is the surviving source transition left uncovered.
+	Source petri.Transition
+	// Witness is the branch's default completion (first alternative for
+	// every unforced cluster): a genuine T-reduction of the net, so when
+	// its Definition 3.5 check fails the whole net is not schedulable
+	// regardless of whether the cut itself was exact. Callers verify
+	// witnesses instead of trusting the cut (see Solve).
+	Witness *Reduction
+}
+
+// EnumerateDistinctReductionsPruned is the distinct-reduction enumeration
+// with the prune-on-unschedulable cut. parentTIs must be the parent net's
+// minimal T-semiflows; branches whose forced exclusions leave a source
+// transition outside every surviving parent semiflow are cut before their
+// subtrees are reduced and returned as PrunedBranch records. The cut is
+// exact only when each completion's semiflows restrict from the parent's
+// (see invariant.RestrictTInvariants); a reduction can in general gain
+// semiflows the parent does not have, so callers must verify each
+// Witness and fall back to the unpruned enumeration when one passes.
+func EnumerateDistinctReductionsPruned(ctx context.Context, n *petri.Net, maxReductions int, parentTIs []invariant.TInvariant) ([]*Reduction, []*PrunedBranch, error) {
+	return enumerateDistinctReductions(ctx, n, maxReductions, &pruner{
+		tis:     parentTIs,
+		sources: n.SourceTransitions(),
+	})
+}
+
+// pruner holds the parent-cone data the prune-on-unschedulable cut needs.
+type pruner struct {
+	tis     []invariant.TInvariant
+	sources []petri.Transition
+}
+
+// uncoveredSource returns a source transition no parent minimal T-semiflow
+// avoiding the excluded set covers, if any. Sources survive every
+// T-reduction, so such a source stays uncovered in every completion whose
+// invariants restrict from the parent cone.
+func (pr *pruner) uncoveredSource(excluded []bool) (petri.Transition, bool) {
+	for _, s := range pr.sources {
+		covered := false
+		for _, ti := range pr.tis {
+			if !ti.Contains(s) {
+				continue
+			}
+			clean := true
+			for t, c := range ti.Counts {
+				if c != 0 && excluded[t] {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func enumerateDistinctReductions(ctx context.Context, n *petri.Net, maxReductions int, pr *pruner) ([]*Reduction, []*PrunedBranch, error) {
 	if maxReductions <= 0 {
 		maxReductions = Options{}.maxAllocations()
 	}
 	clusters := n.FreeChoiceSets()
 	var out []*Reduction
+	var prunes []*PrunedBranch
 	seen := map[string]bool{}
 
 	// assignment[i] = chosen alternative index for cluster i, -1 if the
@@ -145,6 +234,29 @@ func EnumerateDistinctReductionsCtx(ctx context.Context, n *petri.Net, maxReduct
 				alt = 0
 			}
 			chosen[i] = c.Transitions[alt]
+		}
+		if pr != nil && len(pr.sources) > 0 {
+			excluded := make([]bool, n.NumTransitions())
+			var excludedList []petri.Transition
+			for i, c := range clusters {
+				if assignment[i] < 0 {
+					continue
+				}
+				for _, t := range c.Transitions {
+					if t != chosen[i] {
+						excluded[t] = true
+						excludedList = append(excludedList, t)
+					}
+				}
+			}
+			if src, cut := pr.uncoveredSource(excluded); cut {
+				prunes = append(prunes, &PrunedBranch{
+					Excluded: excludedList,
+					Source:   src,
+					Witness:  Reduce(n, &Allocation{Clusters: clusters, Chosen: chosen}),
+				})
+				return nil
+			}
 		}
 		red := Reduce(n, &Allocation{Clusters: clusters, Chosen: chosen})
 		// Find the first unforced cluster whose choice place survives:
@@ -188,7 +300,7 @@ func EnumerateDistinctReductionsCtx(ctx context.Context, n *petri.Net, maxReduct
 		initial[i] = -1
 	}
 	if err := explore(initial); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, prunes, nil
 }

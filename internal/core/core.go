@@ -46,8 +46,23 @@ type Options struct {
 	MaxCycleLength int
 	// KeepDuplicateReductions disables T-reduction deduplication, keeping
 	// one cycle per allocation even when reductions coincide. Used by the
-	// ablation benchmarks.
+	// ablation benchmarks. It also disables the isomorphism dedup, the
+	// parent-semiflow sharing and the prune cut below, so the ablation
+	// measures the paper's unoptimised sweep.
 	KeepDuplicateReductions bool
+	// KeepIsomorphicDuplicates disables the canonical-hash isomorphism
+	// dedup of the schedulability sweep (Theorem 3.1 needs one verdict per
+	// equivalence class; the dedup checks one representative per class and
+	// fans its invariants out to the other members). The sweep's output is
+	// identical either way — the switch exists for the equivalence tests
+	// and ablation benchmarks.
+	KeepIsomorphicDuplicates bool
+	// NoPrune disables the prune-on-unschedulable cut in Solve's reduction
+	// search, restoring the exhaustive lazy enumeration. internal/engine
+	// sets it: the engine enumerates reductions separately for its report,
+	// and its not-schedulable diagnoses must stay identical between that
+	// path and a direct Solve.
+	NoPrune bool
 	// Workers bounds the parallel fan-out of the per-T-reduction work
 	// (reduction construction in the ablation path and the schedulability
 	// sweep). Values ≤ 1 run serially. Results are merged in enumeration
@@ -61,10 +76,13 @@ type Options struct {
 	Semiflows invariant.Cache
 	// Trace optionally records detail spans for the pipeline's inner
 	// steps: "core/enumerate" (allocation/reduction enumeration),
-	// "core/check" (one per T-reduction schedulability check — the unit
-	// of Workers fan-out), "core/cycle" (finite-complete-cycle search)
-	// and the invariant package's spans. Nil disables collection; spans
-	// may end on any worker goroutine.
+	// "core/check" (one per isomorphism-class representative
+	// schedulability check — the unit of Workers fan-out), "core/dedup"
+	// (class grouping plus one span per fanned-out duplicate member),
+	// "core/cycle" (finite-complete-cycle search) and the invariant
+	// package's spans, plus the core/dedup/*, core/semiflow/* and
+	// core/prune/* counters (see docs/TRACING.md). Nil disables
+	// collection; spans may end on any worker goroutine.
 	Trace *trace.Tracer
 	// Ctx optionally cancels the pipeline's long loops — reduction
 	// enumeration, the schedulability sweep, finite-complete-cycle
@@ -170,8 +188,11 @@ type Schedule struct {
 	// the same order as Cycles.
 	Reports []*ReductionReport
 	// AllocationCount is the number of T-allocations enumerated before
-	// deduplication.
-	AllocationCount int
+	// deduplication, saturating at math.MaxInt; AllocationCountSaturated
+	// marks the saturated case so serialised reports never present the
+	// ceiling as a real count.
+	AllocationCount          int
+	AllocationCountSaturated bool
 }
 
 // Solve checks quasi-static schedulability of (net, initial marking) and
@@ -182,29 +203,73 @@ func Solve(n *petri.Net, opt Options) (*Schedule, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	sp := opt.Trace.StartDetail("core/enumerate")
-	var reductions []*Reduction
 	if opt.KeepDuplicateReductions {
-		// Ablation path: one reduction per allocation, duplicates kept.
+		// Ablation path: one reduction per allocation, duplicates kept,
+		// every check from scratch.
+		sp := opt.Trace.StartDetail("core/enumerate")
 		allocs, err := EnumerateAllocations(n, opt.maxAllocations())
 		if err != nil {
 			return nil, err
 		}
-		reductions = make([]*Reduction, len(allocs))
+		reductions := make([]*Reduction, len(allocs))
 		forEachIndex(len(allocs), opt.workerCount(), func(i int) {
 			reductions[i] = Reduce(n, allocs[i])
 		})
+		sp.End()
+		return solveReductions(n, reductions, opt, checkAids{})
+	}
+	// The parent's minimal T-semiflows are computed once per solve and
+	// shared three ways: the prune cut below, the per-reduction restriction
+	// (invariant.RestrictTInvariants) and the consistency checks of the
+	// sweep. A failed computation (e.g. invariant.ErrTooComplex) disables
+	// sharing rather than failing the solve — every consumer falls back to
+	// its from-scratch path.
+	parentTIs, err := invariant.TInvariants(n, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace})
+	aids := checkAids{parentTIs: parentTIs, haveParent: err == nil}
+
+	// Output-sensitive search: only distinct T-reductions are built,
+	// without touching the exponential allocation product.
+	sp := opt.Trace.StartDetail("core/enumerate")
+	var reductions []*Reduction
+	var prunes []*PrunedBranch
+	if aids.haveParent && !opt.NoPrune {
+		reductions, prunes, err = EnumerateDistinctReductionsPruned(opt.Ctx, n, opt.maxAllocations(), parentTIs)
 	} else {
-		// Output-sensitive search: only distinct T-reductions are built,
-		// without touching the exponential allocation product.
-		var err error
 		reductions, err = EnumerateDistinctReductionsCtx(opt.Ctx, n, opt.maxAllocations())
+	}
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if len(prunes) > 0 {
+		opt.Trace.Add("core/prune/branches", int64(len(prunes)))
+		// Verify the cut instead of trusting it: each pruned branch's
+		// Witness is a genuine T-reduction, so a failing witness proves
+		// the net unschedulable no matter whether the cut was exact.
+		for _, pb := range prunes {
+			csp := opt.Trace.StartDetail("core/check")
+			rep := checkReduction(n, pb.Witness, opt, aids)
+			csp.End()
+			if cerr := opt.cancelled(); cerr != nil {
+				return nil, cerr
+			}
+			if !rep.Schedulable {
+				return nil, &NotSchedulableError{Report: rep}
+			}
+		}
+		// Every witness passed: some completion gained semiflows the
+		// parent cone does not restrict to (the inexact corner of
+		// RestrictTInvariants), so the cut was unsound for this net.
+		// Redo the enumeration without pruning.
+		opt.Trace.Add("core/prune/fallback", 1)
+		sp = opt.Trace.StartDetail("core/enumerate")
+		reductions, err = EnumerateDistinctReductionsCtx(opt.Ctx, n, opt.maxAllocations())
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 	}
-	sp.End()
-	return SolveReductions(n, reductions, opt)
+	return solveReductions(n, reductions, opt, aids)
 }
 
 // SolveReductions is the schedulability sweep of Solve over an
@@ -214,23 +279,63 @@ func Solve(n *petri.Net, opt Options) (*Schedule, error) {
 // result is identical to Solve on the same net when the set is the one
 // EnumerateDistinctReductions produces.
 func SolveReductions(n *petri.Net, reductions []*Reduction, opt Options) (*Schedule, error) {
+	aids := checkAids{}
+	if !opt.KeepDuplicateReductions && len(reductions) > 0 {
+		// Same parent-semiflow sharing as Solve (restriction beats a
+		// from-scratch Farkas run per reduction); errors only disable it.
+		if parentTIs, err := invariant.TInvariants(n, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace}); err == nil {
+			aids = checkAids{parentTIs: parentTIs, haveParent: true}
+		}
+	}
+	return solveReductions(n, reductions, opt, aids)
+}
+
+func solveReductions(n *petri.Net, reductions []*Reduction, opt Options, aids checkAids) (*Schedule, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	sched := &Schedule{Net: n, AllocationCount: CountAllocations(n)}
+	count, saturated := CountAllocationsSat(n)
+	sched := &Schedule{Net: n, AllocationCount: count, AllocationCountSaturated: saturated}
 	// Schedulability sweep: each reduction's check is independent, so they
 	// fan out across workers; merging in enumeration order keeps the
 	// result — including which failing reduction is diagnosed — identical
 	// to the serial sweep. Every reduction is checked even when an early
 	// one fails, so the phase trace (core/check count) is a function of
 	// the net alone, not of the worker count or of goroutine timing.
+	//
+	// With the isomorphism dedup (classOf non-nil), the sweep runs in two
+	// deterministic stages: full checks for the class representatives,
+	// then per-member fan-outs that reuse each representative's minimal
+	// semiflows through the canonical isomorphism (Theorem 3.1: one
+	// verdict per equivalence class suffices; the member reports are still
+	// materialised per reduction, byte-identical to from-scratch checks,
+	// so the schedule keeps its shape).
 	reports := make([]*ReductionReport, len(reductions))
+	classOf := dedupClasses(reductions, opt)
 	check := func(i int) {
 		sp := opt.Trace.StartDetail("core/check")
-		reports[i] = CheckReduction(n, reductions[i], opt)
+		reports[i] = checkReduction(n, reductions[i], opt, aids)
 		sp.End()
 	}
-	forEachIndex(len(reductions), opt.workerCount(), check)
+	if classOf == nil {
+		forEachIndex(len(reductions), opt.workerCount(), check)
+	} else {
+		var reps, members []int
+		for i, r := range classOf {
+			if r == i {
+				reps = append(reps, i)
+			} else {
+				members = append(members, i)
+			}
+		}
+		forEachIndex(len(reps), opt.workerCount(), func(k int) { check(reps[k]) })
+		forEachIndex(len(members), opt.workerCount(), func(k int) {
+			i := members[k]
+			sp := opt.Trace.StartDetail("core/dedup")
+			reports[i] = fanOutReport(n, reductions[i], reductions[classOf[i]], reports[classOf[i]], opt)
+			sp.End()
+		})
+	}
 	// A cancelled sweep leaves stub reports behind; surface the
 	// cancellation instead of misreading a stub as "not schedulable".
 	if err := opt.cancelled(); err != nil {
@@ -248,6 +353,70 @@ func SolveReductions(n *petri.Net, reductions []*Reduction, opt Options) (*Sched
 		sched.Reports = append(sched.Reports, report)
 	}
 	return sched, nil
+}
+
+// dedupClasses groups the reductions into isomorphism classes by canonical
+// hash of their subnets and returns classOf with classOf[i] the index of
+// reduction i's class representative (the class's first member in
+// enumeration order). nil means the dedup is off or pointless (every
+// reduction its own representative). Equal canonical hashes guarantee
+// isomorphic subnets — the hash covers the full relabelled structure — so
+// a class shares one schedulability verdict by Theorem 3.1.
+func dedupClasses(reductions []*Reduction, opt Options) []int {
+	if opt.KeepDuplicateReductions || opt.KeepIsomorphicDuplicates || len(reductions) < 2 {
+		return nil
+	}
+	sp := opt.Trace.StartDetail("core/dedup")
+	hashes := make([]string, len(reductions))
+	forEachIndex(len(reductions), opt.workerCount(), func(i int) {
+		hashes[i] = reductions[i].Sub.Net.CanonicalHash()
+	})
+	classOf := make([]int, len(reductions))
+	rep := make(map[string]int, len(reductions))
+	classes := 0
+	for i, h := range hashes {
+		if r, ok := rep[h]; ok {
+			classOf[i] = r
+		} else {
+			rep[h] = i
+			classOf[i] = i
+			classes++
+		}
+	}
+	sp.End()
+	opt.Trace.Add("core/dedup/classes", int64(classes))
+	opt.Trace.Add("core/dedup/members", int64(len(reductions)-classes))
+	if classes == len(reductions) {
+		return nil
+	}
+	return classOf
+}
+
+// fanOutReport re-derives a duplicate reduction's report from its class
+// representative. The minimal-semiflow *set* is the only part of the check
+// that is isomorphism-equivariant: the greedy covering combination and the
+// index-order cycle search are not, so they are recomputed in the member's
+// own index space — which is exactly what keeps the fanned-out report
+// byte-identical to a from-scratch check while still skipping the Farkas
+// run (the expensive part).
+func fanOutReport(n *petri.Net, member, rep *Reduction, repReport *ReductionReport, opt Options) *ReductionReport {
+	if repReport.Invariants == nil {
+		// The representative never produced invariants (cancellation stub
+		// or a failed computation): nothing to share, check from scratch —
+		// deterministic, so the member reproduces the same diagnosis.
+		return checkReduction(n, member, opt, checkAids{})
+	}
+	m := petri.MapTransitionsByCanonical(rep.Sub.Net, member.Sub.Net)
+	tis := make([]invariant.TInvariant, len(repReport.Invariants))
+	for k, ti := range repReport.Invariants {
+		counts := make([]int, len(ti.Counts))
+		for t, c := range ti.Counts {
+			counts[m[t]] = c
+		}
+		tis[k] = invariant.TInvariant{Counts: counts}
+	}
+	invariant.SortTInvariants(tis)
+	return checkReduction(n, member, opt, checkAids{pre: tis, havePre: true})
 }
 
 // forEachIndex runs fn(0..n-1), fanning out across up to workers

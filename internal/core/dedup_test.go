@@ -1,0 +1,290 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"fcpn/internal/figures"
+	"fcpn/internal/invariant"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+)
+
+// distillSolve runs Solve and flattens everything observable about the
+// outcome — cycles, per-report verdicts, invariants, diagnosis — into a
+// comparable string, so the equivalence tests below can assert that two
+// solver configurations produce *identical* results, not merely equivalent
+// ones.
+func distillSolve(t *testing.T, n *petri.Net, opt Options) string {
+	t.Helper()
+	s, err := Solve(n, opt)
+	if err != nil {
+		var nse *NotSchedulableError
+		if errors.As(err, &nse) {
+			r := nse.Report
+			return fmt.Sprintf("notsched consistent=%v uncovered=%v srcs=%v missing=%v reason=%q",
+				r.Consistent, r.Uncovered, r.SourcesCovered, r.MissingSources, r.FailReason)
+		}
+		return "err " + err.Error()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "alloc=%d sat=%v\n", s.AllocationCount, s.AllocationCountSaturated)
+	for i, c := range s.Cycles {
+		r := s.Reports[i]
+		fmt.Fprintf(&sb, "cycle %v counts=%v inv=%v cover=%v\n",
+			s.Net.SequenceNames(c.Sequence), c.Counts, r.Invariants, r.CoveringCounts)
+	}
+	return sb.String()
+}
+
+// corpus returns the nets the equivalence tests sweep: every paper figure
+// plus seeded netgen nets (both the schedulable-by-construction pipelines
+// and the unconstrained generator, which yields non-schedulable nets too).
+func equivalenceCorpus(t *testing.T) map[string]*petri.Net {
+	t.Helper()
+	nets := map[string]*petri.Net{}
+	for name, n := range figures.All() {
+		if n.Validate() == nil {
+			nets[name] = n
+		}
+	}
+	for seed := uint64(1); seed <= 12; seed++ {
+		nets[fmt.Sprintf("pipe%d", seed)] = netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig())
+		if n := netgen.RandomNet(seed, netgen.DefaultConfig()); n.Validate() == nil {
+			nets[fmt.Sprintf("rand%d", seed)] = n
+		}
+	}
+	return nets
+}
+
+func TestDedupMatchesFromScratch(t *testing.T) {
+	// The canonical-hash dedup must be invisible in the output: same
+	// cycles, same reports (including the mapped invariants, byte for
+	// byte), same diagnosed failing reduction — across worker counts.
+	for name, n := range equivalenceCorpus(t) {
+		base := distillSolve(t, n, Options{KeepIsomorphicDuplicates: true, NoPrune: true})
+		for _, opt := range []Options{
+			{},
+			{Workers: 4},
+			{NoPrune: true},
+			{Workers: 3, KeepIsomorphicDuplicates: true},
+		} {
+			if got := distillSolve(t, n, opt); got != base {
+				t.Errorf("%s: %+v diverges from scratch solve:\n got: %s\nwant: %s", name, opt, got, base)
+			}
+		}
+	}
+}
+
+func TestPruneMatchesUnprunedVerdict(t *testing.T) {
+	// The prune cut may pick a different failing reduction as its witness,
+	// but the verdict — schedulable or not — and every schedulable
+	// schedule must match the exhaustive search exactly.
+	for name, n := range equivalenceCorpus(t) {
+		pruned, prunedErr := Solve(n, Options{})
+		full, fullErr := Solve(n, Options{NoPrune: true})
+		if (prunedErr == nil) != (fullErr == nil) {
+			t.Fatalf("%s: pruned err=%v, unpruned err=%v", name, prunedErr, fullErr)
+		}
+		if prunedErr != nil {
+			var nse *NotSchedulableError
+			if !errors.As(prunedErr, &nse) || nse.Report.Schedulable {
+				t.Fatalf("%s: pruned diagnosis malformed: %v", name, prunedErr)
+			}
+			continue
+		}
+		a := distillSolve(t, n, Options{})
+		b := distillSolve(t, n, Options{NoPrune: true})
+		if a != b {
+			t.Errorf("%s: pruned schedule diverges:\n got: %s\nwant: %s", name, a, b)
+		}
+		_ = pruned
+		_ = full
+	}
+}
+
+func TestPrunedEnumerationRecordsBranches(t *testing.T) {
+	// Figure 3b is the paper's canonical non-schedulable net: t4 needs
+	// both branches of the choice, so no parent T-semiflow survives either
+	// forced exclusion and the lazy search is cut at the first fork.
+	n := figures.Figure3b()
+	parentTIs, err := invariant.TInvariants(n, invariant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reds, prunes, err := EnumerateDistinctReductionsPruned(nil, n, 0, parentTIs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prunes) == 0 {
+		t.Fatalf("no branches pruned (reductions=%d): want the unschedulable branches cut", len(reds))
+	}
+	srcs := map[petri.Transition]bool{}
+	for _, s := range n.SourceTransitions() {
+		srcs[s] = true
+	}
+	for _, pb := range prunes {
+		if pb.Witness == nil {
+			t.Fatal("pruned branch without witness reduction")
+		}
+		if !srcs[pb.Source] {
+			t.Fatalf("pruned branch names non-source transition %v", pb.Source)
+		}
+		rep := CheckReduction(n, pb.Witness, Options{})
+		if rep.Schedulable {
+			t.Fatalf("figure 3b witness must fail Definition 3.5, got schedulable")
+		}
+	}
+	// The prune must not have eaten schedulable work on a schedulable net.
+	n3a := figures.Figure3a()
+	tis3a, err := invariant.TInvariants(n3a, invariant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reds3a, prunes3a, err := EnumerateDistinctReductionsPruned(nil, n3a, 0, tis3a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prunes3a) != 0 || len(reds3a) != 2 {
+		t.Fatalf("figure 3a: reductions=%d prunes=%d, want 2/0", len(reds3a), len(prunes3a))
+	}
+}
+
+// chainOfChoices builds a net with k independent binary free-choice
+// clusters (source → choice place → {a_i, b_i} → sink chains), so the
+// allocation product and the distinct-reduction count are both exactly 2^k.
+func chainOfChoices(k int) *petri.Net {
+	b := petri.NewBuilder("choices")
+	for i := 0; i < k; i++ {
+		src := b.Transition(fmt.Sprintf("src%d", i))
+		p := b.Place(fmt.Sprintf("p%d", i))
+		b.ArcTP(src, p)
+		for _, nm := range []string{"a", "b"} {
+			alt := b.Transition(fmt.Sprintf("%s%d", nm, i))
+			b.Arc(p, alt)
+		}
+	}
+	return b.Build()
+}
+
+func TestEnumerateAllocationsExactBoundary(t *testing.T) {
+	// 3 binary clusters: exactly 8 allocations. The cap must admit
+	// max == 8 and reject max == 7 — the old guard's off-by-one
+	// (max/len + 1) made the boundary imprecise.
+	n := chainOfChoices(3)
+	allocs, err := EnumerateAllocations(n, 8)
+	if err != nil || len(allocs) != 8 {
+		t.Fatalf("max=8: len=%d err=%v, want 8/nil", len(allocs), err)
+	}
+	if _, err := EnumerateAllocations(n, 7); !errors.Is(err, ErrTooManyAllocations) {
+		t.Fatalf("max=7: err=%v, want ErrTooManyAllocations", err)
+	}
+}
+
+func TestEnumerateDistinctReductionsExactBoundary(t *testing.T) {
+	n := chainOfChoices(3)
+	reds, err := EnumerateDistinctReductions(n, 8)
+	if err != nil || len(reds) != 8 {
+		t.Fatalf("max=8: len=%d err=%v, want 8/nil", len(reds), err)
+	}
+	if _, err := EnumerateDistinctReductions(n, 7); !errors.Is(err, ErrTooManyAllocations) {
+		t.Fatalf("max=7: err=%v, want ErrTooManyAllocations", err)
+	}
+}
+
+func TestCountAllocationsSaturates(t *testing.T) {
+	// 63 binary clusters: 2^63 > math.MaxInt on 64-bit (and far beyond it
+	// on 32-bit GOARCH, where the old 1<<62 constant did not even fit in
+	// int). The count must saturate at math.MaxInt with the flag set.
+	n := chainOfChoices(63)
+	count, saturated := CountAllocationsSat(n)
+	if !saturated || count != math.MaxInt {
+		t.Fatalf("CountAllocationsSat = %d,%v, want math.MaxInt,true", count, saturated)
+	}
+	if CountAllocations(n) != math.MaxInt {
+		t.Fatalf("CountAllocations must saturate at math.MaxInt")
+	}
+	small, sat := CountAllocationsSat(chainOfChoices(3))
+	if sat || small != 8 {
+		t.Fatalf("CountAllocationsSat(2^3) = %d,%v, want 8,false", small, sat)
+	}
+	// The saturation marker must survive serialisation so reports never
+	// present the ceiling as a real count.
+	ex := (&Schedule{Net: n, AllocationCount: count, AllocationCountSaturated: saturated}).Export()
+	data, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"allocation_count_saturated":true`) {
+		t.Fatalf("export JSON missing saturation marker: %s", data)
+	}
+	plain, err := json.Marshal((&Schedule{Net: chainOfChoices(1), AllocationCount: 2}).Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "allocation_count_saturated") {
+		t.Fatalf("unsaturated export must omit the marker: %s", plain)
+	}
+}
+
+func TestCoveringCombinationIncompleteCover(t *testing.T) {
+	// Regression for the silent `break`: handed a non-covering invariant
+	// set, the greedy cover used to return a partial count vector that the
+	// cycle search could then "certify". It must now name the uncovered
+	// transitions so checkReduction fails the reduction instead.
+	tis := []invariant.TInvariant{{Counts: []int{2, 1, 0, 0}}}
+	counts, uncovered := coveringCombination(tis, 4)
+	if len(uncovered) != 2 || uncovered[0] != 2 || uncovered[1] != 3 {
+		t.Fatalf("uncovered = %v, want [2 3]", uncovered)
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("counts = %v, want the covered prefix summed", counts)
+	}
+	// A covering set keeps the happy path: no uncovered transitions.
+	tis = append(tis, invariant.TInvariant{Counts: []int{0, 0, 1, 3}})
+	if _, uncovered := coveringCombination(tis, 4); uncovered != nil {
+		t.Fatalf("covering set reported uncovered = %v", uncovered)
+	}
+	// An empty invariant set leaves everything uncovered.
+	if _, uncovered := coveringCombination(nil, 2); len(uncovered) != 2 {
+		t.Fatalf("empty set: uncovered = %v, want both transitions", uncovered)
+	}
+}
+
+func TestDedupCountersAndClasses(t *testing.T) {
+	// The ATM model collapses 56 distinct reductions into far fewer
+	// isomorphism classes; the sweep must record the split and still
+	// produce one report per reduction.
+	n := netgen.RandomSchedulablePipeline(4, netgen.DefaultConfig())
+	reds, err := EnumerateDistinctReductions(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classOf := dedupClasses(reds, Options{})
+	if classOf == nil {
+		t.Skip("seed produced no isomorphic duplicates")
+	}
+	classes := 0
+	for i, r := range classOf {
+		if r == i {
+			classes++
+		}
+		if reds[r].Sub.Net.CanonicalHash() != reds[i].Sub.Net.CanonicalHash() {
+			t.Fatalf("class member %d hashed differently from its representative %d", i, r)
+		}
+	}
+	if classes >= len(reds) {
+		t.Fatalf("classes=%d of %d reductions: dedup found nothing", classes, len(reds))
+	}
+	s, err := Solve(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reports) != len(reds) {
+		t.Fatalf("reports=%d, want one per reduction (%d)", len(s.Reports), len(reds))
+	}
+}

@@ -11,9 +11,13 @@ import (
 // a downstream tool needs to regenerate or audit the synthesis, with nodes
 // referenced by name.
 type ScheduleExport struct {
-	Net         string        `json:"net"`
-	Allocations int           `json:"allocations"`
-	Cycles      []CycleExport `json:"cycles"`
+	Net         string `json:"net"`
+	Allocations int    `json:"allocations"`
+	// AllocationsSaturated marks Allocations as the math.MaxInt ceiling
+	// (the true T-allocation product overflowed int), so downstream tools
+	// never mistake the cap for a real count.
+	AllocationsSaturated bool          `json:"allocation_count_saturated,omitempty"`
+	Cycles               []CycleExport `json:"cycles"`
 }
 
 // CycleExport is one finite complete cycle in name form.
@@ -31,8 +35,9 @@ type CycleExport struct {
 // Export converts the schedule to its serialisable form.
 func (s *Schedule) Export() *ScheduleExport {
 	out := &ScheduleExport{
-		Net:         s.Net.Name(),
-		Allocations: s.AllocationCount,
+		Net:                  s.Net.Name(),
+		Allocations:          s.AllocationCount,
+		AllocationsSaturated: s.AllocationCountSaturated,
 	}
 	for _, c := range s.Cycles {
 		ce := CycleExport{
@@ -73,7 +78,8 @@ func ImportSchedule(n *petri.Net, ex *ScheduleExport) (*Schedule, error) {
 		return nil, fmt.Errorf("core: nil schedule export")
 	}
 	clusters := n.FreeChoiceSets()
-	sched := &Schedule{Net: n, AllocationCount: CountAllocations(n)}
+	count, saturated := CountAllocationsSat(n)
+	sched := &Schedule{Net: n, AllocationCount: count, AllocationCountSaturated: saturated}
 	seen := map[string]bool{}
 	for ci, ce := range ex.Cycles {
 		seq := make([]petri.Transition, len(ce.Sequence))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -50,6 +51,53 @@ type ReductionReport struct {
 // a deadlock-free firing sequence realising a covering T-invariant and
 // returning to the initial marking.
 func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport {
+	return checkReduction(n, red, opt, checkAids{})
+}
+
+// checkAids carries the work a solver sweep can share into one reduction's
+// check. The zero value means "from scratch" — exactly CheckReduction.
+type checkAids struct {
+	// parentTIs are the parent net's minimal T-semiflows; when haveParent
+	// is set the check first derives the subnet's invariants by exact
+	// restriction (invariant.RestrictTInvariants), falling back to the
+	// from-scratch Farkas run when the reduction's shape makes restriction
+	// inexact.
+	parentTIs  []invariant.TInvariant
+	haveParent bool
+	// pre short-circuits invariant computation entirely: the caller
+	// already holds this subnet's minimal T-semiflows (the dedup fan-out
+	// maps a class representative's invariants through the canonical
+	// isomorphism). Must equal what a from-scratch run would return.
+	pre     []invariant.TInvariant
+	havePre bool
+}
+
+// subnetInvariants resolves a reduction's minimal T-semiflows from the
+// cheapest available source: precomputed, restricted from the parent, or
+// from scratch. All three produce identical output (the byte-identity
+// invariant of the sweep); the core/semiflow/* counters record which path
+// ran so the restriction fallback rate stays visible in traces.
+func subnetInvariants(n *petri.Net, red *Reduction, opt Options, aids checkAids) ([]invariant.TInvariant, error) {
+	if aids.havePre {
+		return aids.pre, nil
+	}
+	if aids.haveParent {
+		if tis, ok := invariant.RestrictTInvariants(n, red.Sub, aids.parentTIs); ok {
+			opt.Trace.Add("core/semiflow/restricted", 1)
+			return tis, nil
+		}
+		opt.Trace.Add("core/semiflow/full", 1)
+	}
+	// Subnet T-semiflows are computed directly, bypassing opt.Semiflows:
+	// keying the content-addressed cache costs a canonical-form computation
+	// per fresh reduction subnet, and phase traces showed that costing more
+	// than the (int64 fast path) Farkas runs it saves. Whole-net Solve
+	// results are memoised one level up by internal/engine, so warm
+	// analyses never reach this code anyway.
+	return invariant.TInvariants(red.Sub.Net, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace})
+}
+
+func checkReduction(n *petri.Net, red *Reduction, opt Options, aids checkAids) *ReductionReport {
 	report := &ReductionReport{Reduction: red}
 	sub := red.Sub.Net
 
@@ -62,13 +110,7 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 		return report
 	}
 
-	// Subnet T-semiflows are computed directly, bypassing opt.Semiflows:
-	// keying the content-addressed cache costs a canonical-form computation
-	// per fresh reduction subnet, and phase traces showed that costing more
-	// than the (int64 fast path) Farkas runs it saves. Whole-net Solve
-	// results are memoised one level up by internal/engine, so warm
-	// analyses never reach this code anyway.
-	tis, err := invariant.TInvariants(sub, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace})
+	tis, err := subnetInvariants(n, red, opt, aids)
 	if err != nil {
 		report.FailReason = fmt.Sprintf("invariant computation failed: %v", err)
 		report.Cause = err
@@ -119,9 +161,23 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 
 	// Covering combination: a small set of minimal invariants whose union
 	// of supports covers every transition of the reduction (greedy set
-	// cover; exact for the nets of interest since consistency guarantees
-	// full cover by the whole set).
-	report.CoveringCounts = coveringCombination(tis, sub.NumTransitions())
+	// cover; consistency guarantees the full set covers, so the greedy
+	// loop always completes). An incomplete cover is still surfaced as a
+	// non-schedulable verdict rather than silently handing a partial
+	// count vector to the cycle search — findCompleteCycle only certifies
+	// the counts it is given, so a partial vector could otherwise yield a
+	// "schedulable" verdict from a cycle missing transitions.
+	counts, uncoveredByGreedy := coveringCombination(tis, sub.NumTransitions())
+	if len(uncoveredByGreedy) > 0 {
+		for _, t := range uncoveredByGreedy {
+			report.Uncovered = append(report.Uncovered, red.Sub.ToParentTransition(t))
+		}
+		report.FailReason = fmt.Sprintf("T-reduction %q has no covering T-invariant combination: transitions %s stay uncovered",
+			sub.Name(), transitionNames(n, report.Uncovered))
+		report.Cause = ErrIncompleteCover
+		return report
+	}
+	report.CoveringCounts = counts
 
 	// (3) Deadlock-free simulation realising the covering counts and
 	// returning to the initial marking.
@@ -138,13 +194,22 @@ func CheckReduction(n *petri.Net, red *Reduction, opt Options) *ReductionReport 
 	return report
 }
 
+// ErrIncompleteCover is the typed cause of a report whose greedy covering
+// combination could not reach every transition. It is unreachable through
+// Solve — the consistency check runs first, and a consistent invariant set
+// covers by definition — but the covering step no longer trusts that:
+// handed a non-covering set it reports the uncovered transitions instead
+// of certifying a partial cycle (regression-tested directly).
+var ErrIncompleteCover = errors.New("core: no covering T-invariant combination")
+
 // coveringCombination greedily picks minimal invariants until every
-// transition is covered, then sums their counts. Consistency guarantees
-// the full set covers, so the greedy loop always terminates with a valid
-// cover.
-func coveringCombination(tis []invariant.TInvariant, numT int) []int {
+// transition is covered, then sums their counts. uncovered lists the
+// transitions (in local indices) no invariant could reach; it is empty
+// whenever the invariant set is consistent, and the caller must treat a
+// non-empty result as a failed check.
+func coveringCombination(tis []invariant.TInvariant, numT int) (counts []int, uncovered []petri.Transition) {
 	covered := make([]bool, numT)
-	counts := make([]int, numT)
+	counts = make([]int, numT)
 	remaining := numT
 	for remaining > 0 {
 		best, bestGain := -1, 0
@@ -160,7 +225,14 @@ func coveringCombination(tis []invariant.TInvariant, numT int) []int {
 			}
 		}
 		if best < 0 {
-			break // should not happen when consistent; be defensive
+			// No invariant reaches the remaining transitions: the set does
+			// not cover. Report instead of returning a partial vector.
+			for t, c := range covered {
+				if !c {
+					uncovered = append(uncovered, petri.Transition(t))
+				}
+			}
+			return counts, uncovered
 		}
 		for t, c := range tis[best].Counts {
 			counts[t] += c
@@ -170,7 +242,7 @@ func coveringCombination(tis []invariant.TInvariant, numT int) []int {
 			}
 		}
 	}
-	return counts
+	return counts, nil
 }
 
 func transitionNames(n *petri.Net, ts []petri.Transition) string {

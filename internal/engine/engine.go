@@ -235,6 +235,11 @@ func (e *Engine) coreOpts(ctx context.Context, tr *trace.Tracer) core.Options {
 	opt.Semiflows = semiflowCache{e.cache}
 	opt.Trace = tr
 	opt.Ctx = ctx
+	// The prune cut can change which failing reduction Solve diagnoses.
+	// The engine's cold path sweeps the reduction set it enumerated for
+	// the report (SolveReductions); its warm Solve fallback must produce
+	// the same diagnosis byte for byte, so pruning stays off here.
+	opt.NoPrune = true
 	if opt.Workers == 0 {
 		opt.Workers = e.workers
 	}
@@ -585,7 +590,8 @@ func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule) 
 			clusterOf[p] = i
 		}
 	}
-	sched := &core.Schedule{Net: n, AllocationCount: core.CountAllocations(n)}
+	count, saturated := core.CountAllocationsSat(n)
+	sched := &core.Schedule{Net: n, AllocationCount: count, AllocationCountSaturated: saturated}
 	for _, cc := range cs.cycles {
 		seq := make([]petri.Transition, len(cc.seq))
 		for j, pos := range cc.seq {
@@ -982,6 +988,7 @@ func (e *Engine) analyzeTraced(ctx context.Context, n *petri.Net, cf *petri.Cano
 	}
 	rep.Schedulable = true
 	rep.Allocations = sched.AllocationCount
+	rep.AllocationsSaturated = sched.AllocationCountSaturated
 	rep.Schedule = sched.Export()
 	sp = tr.Start("core/bounds")
 	if bounds, err := sched.BufferBounds(); err != nil {

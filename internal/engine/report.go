@@ -49,7 +49,10 @@ type NetReport struct {
 	Schedulable   bool                 `json:"schedulable"`
 	ScheduleError string               `json:"schedule_error,omitempty"`
 	Allocations   int                  `json:"allocations,omitempty"`
-	Schedule      *core.ScheduleExport `json:"schedule,omitempty"`
+	// AllocationsSaturated marks Allocations as the math.MaxInt ceiling of
+	// core.CountAllocationsSat rather than a real count.
+	AllocationsSaturated bool                 `json:"allocation_count_saturated,omitempty"`
+	Schedule             *core.ScheduleExport `json:"schedule,omitempty"`
 	// BufferBounds maps each place to its schedule buffer bound.
 	BufferBounds map[string]int `json:"buffer_bounds,omitempty"`
 

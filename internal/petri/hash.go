@@ -3,9 +3,8 @@ package petri
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // CanonicalForm is a naming- and declaration-order-independent canonical
@@ -55,34 +54,52 @@ func (n *Net) computeCanonicalForm() *CanonicalForm {
 	pCol := make([]int, nP)
 	tCol := make([]int, nT)
 
+	// Signatures are assembled with manual byte appends rather than fmt:
+	// the reduction-class dedup in internal/core hashes hundreds of small
+	// subnets per solve, and fmt verb parsing dominated the refinement
+	// loop in its phase traces. The byte sequences are identical to the
+	// previous fmt-built ones, so ranks — and therefore hashes — are
+	// unchanged (pinned by the golden hashes in the engine tests).
+	var buf []byte
+
 	// Round 0: structural signatures independent of any prior colours.
 	sigs := make([]string, 0, nP+nT)
 	init := n.initialMark
 	for p := 0; p < nP; p++ {
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "P|m%d|i%d|o%d", markAt(init, p), len(n.placeIn[p]), len(n.placeOut[p]))
-		sb.WriteString("|iw")
+		buf = append(buf[:0], "P|m"...)
+		buf = strconv.AppendInt(buf, int64(markAt(init, p)), 10)
+		buf = append(buf, "|i"...)
+		buf = strconv.AppendInt(buf, int64(len(n.placeIn[p])), 10)
+		buf = append(buf, "|o"...)
+		buf = strconv.AppendInt(buf, int64(len(n.placeOut[p])), 10)
+		buf = append(buf, "|iw"...)
 		for _, w := range sortedWeightsT(n.placeIn[p]) {
-			fmt.Fprintf(&sb, " %d", w)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(w), 10)
 		}
-		sb.WriteString("|ow")
+		buf = append(buf, "|ow"...)
 		for _, w := range sortedWeightsT(n.placeOut[p]) {
-			fmt.Fprintf(&sb, " %d", w)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(w), 10)
 		}
-		sigs = append(sigs, sb.String())
+		sigs = append(sigs, string(buf))
 	}
 	for t := 0; t < nT; t++ {
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "T|i%d|o%d", len(n.pre[t]), len(n.post[t]))
-		sb.WriteString("|iw")
+		buf = append(buf[:0], "T|i"...)
+		buf = strconv.AppendInt(buf, int64(len(n.pre[t])), 10)
+		buf = append(buf, "|o"...)
+		buf = strconv.AppendInt(buf, int64(len(n.post[t])), 10)
+		buf = append(buf, "|iw"...)
 		for _, w := range sortedWeightsP(n.pre[t]) {
-			fmt.Fprintf(&sb, " %d", w)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(w), 10)
 		}
-		sb.WriteString("|ow")
+		buf = append(buf, "|ow"...)
 		for _, w := range sortedWeightsP(n.post[t]) {
-			fmt.Fprintf(&sb, " %d", w)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(w), 10)
 		}
-		sigs = append(sigs, sb.String())
+		sigs = append(sigs, string(buf))
 	}
 	classes := rankSignatures(sigs, pCol, tCol)
 
@@ -91,29 +108,49 @@ func (n *Net) computeCanonicalForm() *CanonicalForm {
 	// Signature ranks are assigned by lexicographic order of the distinct
 	// signatures, so colours depend only on the multiset — never on the
 	// local iteration order — keeping the result declaration-order stable.
+	tuple := func(dir byte, weight, col int) string {
+		var b [24]byte
+		s := append(b[:0], dir)
+		s = strconv.AppendInt(s, int64(weight), 10)
+		s = append(s, ',')
+		s = strconv.AppendInt(s, int64(col), 10)
+		return string(s)
+	}
+	var tuples []string
+	joinSig := func(kind byte, col int) string {
+		sort.Strings(tuples)
+		buf = append(buf[:0], kind)
+		buf = strconv.AppendInt(buf, int64(col), 10)
+		buf = append(buf, '|')
+		for i, s := range tuples {
+			if i > 0 {
+				buf = append(buf, ';')
+			}
+			buf = append(buf, s...)
+		}
+		return string(buf)
+	}
 	for round := 0; round < nP+nT; round++ {
 		sigs = sigs[:0]
 		for p := 0; p < nP; p++ {
-			var tuples []string
+			tuples = tuples[:0]
 			for _, ta := range n.placeIn[p] {
-				tuples = append(tuples, fmt.Sprintf("<%d,%d", ta.Weight, tCol[ta.Transition]))
+				tuples = append(tuples, tuple('<', ta.Weight, tCol[ta.Transition]))
 			}
 			for _, ta := range n.placeOut[p] {
-				tuples = append(tuples, fmt.Sprintf(">%d,%d", ta.Weight, tCol[ta.Transition]))
+				tuples = append(tuples, tuple('>', ta.Weight, tCol[ta.Transition]))
 			}
-			sort.Strings(tuples)
-			sigs = append(sigs, fmt.Sprintf("P%d|%s", pCol[p], strings.Join(tuples, ";")))
+			sigs = append(sigs, joinSig('P', pCol[p]))
 		}
 		for t := 0; t < nT; t++ {
-			var tuples []string
+			tuples = tuples[:0]
 			for _, a := range n.pre[t] {
-				tuples = append(tuples, fmt.Sprintf("<%d,%d", a.Weight, pCol[a.Place]))
+				tuples = append(tuples, tuple('<', a.Weight, pCol[a.Place]))
 			}
 			for _, a := range n.post[t] {
-				tuples = append(tuples, fmt.Sprintf(">%d,%d", a.Weight, pCol[a.Place]))
+				tuples = append(tuples, tuple('>', a.Weight, pCol[a.Place]))
 			}
-			sort.Strings(tuples)
-			sigs = append(sigs, fmt.Sprintf("T%d|%s", tCol[t], strings.Join(tuples, ";")))
+			sigs = append(sigs, joinSig('T', tCol[t]))
 		}
 		next := rankSignatures(sigs, pCol, tCol)
 		if next == classes {
@@ -162,23 +199,55 @@ func (n *Net) computeCanonicalForm() *CanonicalForm {
 	// Serialise the relabelled structure: node counts, markings in
 	// canonical place order, then per canonical transition the sorted
 	// (canonical place, weight) pre- and post-sets.
-	h := sha256.New()
-	fmt.Fprintf(h, "fcpn-canonical-v1|P%d|T%d\nm", nP, nT)
+	buf = append(buf[:0], "fcpn-canonical-v1|P"...)
+	buf = strconv.AppendInt(buf, int64(nP), 10)
+	buf = append(buf, "|T"...)
+	buf = strconv.AppendInt(buf, int64(nT), 10)
+	buf = append(buf, "\nm"...)
 	for _, p := range cf.PlaceAt {
-		fmt.Fprintf(h, " %d", markAt(init, int(p)))
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(markAt(init, int(p))), 10)
+	}
+	appendArcs := func(arcs []ArcRef) {
+		for _, pw := range canonicalArcs(arcs, cf.PlacePos) {
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(pw[0]), 10)
+			buf = append(buf, '*')
+			buf = strconv.AppendInt(buf, int64(pw[1]), 10)
+		}
 	}
 	for i, t := range cf.TransAt {
-		fmt.Fprintf(h, "\nt%d pre", i)
-		for _, pw := range canonicalArcs(n.pre[t], cf.PlacePos) {
-			fmt.Fprintf(h, " %d*%d", pw[0], pw[1])
-		}
-		fmt.Fprintf(h, " post")
-		for _, pw := range canonicalArcs(n.post[t], cf.PlacePos) {
-			fmt.Fprintf(h, " %d*%d", pw[0], pw[1])
-		}
+		buf = append(buf, "\nt"...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, " pre"...)
+		appendArcs(n.pre[t])
+		buf = append(buf, " post"...)
+		appendArcs(n.post[t])
 	}
-	cf.Hash = hex.EncodeToString(h.Sum(nil))
+	sum := sha256.Sum256(buf)
+	cf.Hash = hex.EncodeToString(sum[:])
 	return cf
+}
+
+// MapTransitionsByCanonical returns the transition mapping from net a onto
+// net b induced by their canonical forms: out[t] is the b-transition at the
+// same canonical position as a-transition t.
+//
+// Precondition: a and b have equal canonical hashes. The hash covers the
+// complete relabelled structure — markings, arcs and weights in canonical
+// position space — so equal hashes mean the position-to-position
+// correspondence preserves every arc and marking: it is an isomorphism, no
+// matter how colour ties were broken on either side. Callers (the
+// reduction-class dedup in internal/core) use it to transport
+// structure-only results such as minimal semiflow sets between members of
+// a canonical-hash equivalence class.
+func MapTransitionsByCanonical(a, b *Net) []Transition {
+	fa, fb := a.CanonicalForm(), b.CanonicalForm()
+	out := make([]Transition, len(fa.TransPos))
+	for t := range out {
+		out[t] = fb.TransAt[fa.TransPos[t]]
+	}
+	return out
 }
 
 // rankSignatures replaces pCol/tCol with the rank of each node's signature
