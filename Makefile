@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-json bench-serve phase-baseline phase-gate cover fuzz examples atmbench clean
+.PHONY: all build test bench bench-json bench-serve bench-coord phase-baseline phase-gate cover fuzz examples atmbench clean
 
 all: build test
 
@@ -55,6 +55,53 @@ bench-serve:
 	@grep -E '"(requests_per_sec|cold_nets_per_sec|warm_nets_per_sec|server_url)"' BENCH_service.json
 	@grep -E '"(cold_cache|warm_cache)"' BENCH_service.json
 
+# Coordinator availability report (see docs/SERVICE.md): boot three
+# single-shard backends and a coordinator in front, drive the phase
+# corpus through the coordinator, SIGKILL one backend two seconds into
+# the run, and write BENCH_coord.json. Availability should stay 1.0 and
+# the coordinator's failover counter nonzero — the kill lands mid-batch
+# and the survivors absorb the dead host's prefix range. Everything is
+# shut down gracefully (SIGINT -> drain) afterwards; the killed backend
+# is reaped with `wait || true` since SIGKILL is the point.
+bench-coord:
+	go build -o /tmp/qssd_bench ./cmd/qssd
+	rm -f /tmp/qssd_coord.log /tmp/qssd_b0.log /tmp/qssd_b1.log /tmp/qssd_b2.log /tmp/qssd_coord.jsonl
+	set -e; \
+	PIDS=""; ADDRS=""; \
+	for i in 0 1 2; do \
+		/tmp/qssd_bench serve -addr 127.0.0.1:0 -shards 1 -workers 2 \
+			> /tmp/qssd_b$$i.log 2>&1 & \
+		PIDS="$$PIDS $$!"; \
+	done; \
+	for i in 0 1 2; do \
+		A=""; \
+		for t in $$(seq 1 100); do \
+			A=$$(sed -n 's|^qssd: serving on \(http://[^ ]*\).*|\1|p' /tmp/qssd_b$$i.log); \
+			[ -n "$$A" ] && break; sleep 0.1; \
+		done; \
+		[ -n "$$A" ] || { cat /tmp/qssd_b$$i.log; kill $$PIDS 2>/dev/null; echo "bench-coord: backend $$i never came up"; exit 1; }; \
+		ADDRS="$$ADDRS,$$A"; \
+	done; \
+	ADDRS=$${ADDRS#,}; \
+	/tmp/qssd_bench coord -addr 127.0.0.1:0 -backends "$$ADDRS" \
+		-journal /tmp/qssd_coord.jsonl -probe-interval 100ms -breaker-threshold 2 \
+		> /tmp/qssd_coord.log 2>&1 & \
+	CRD=$$!; \
+	COORD=""; \
+	for t in $$(seq 1 100); do \
+		COORD=$$(sed -n 's|^qssd: coordinating on \(http://[^ ]*\).*|\1|p' /tmp/qssd_coord.log); \
+		[ -n "$$COORD" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$COORD" ] || { cat /tmp/qssd_coord.log; kill $$PIDS $$CRD 2>/dev/null; echo "bench-coord: coordinator never came up"; exit 1; }; \
+	VICTIM=$$(echo $$PIDS | awk '{print $$1}'); \
+	( sleep 1; kill -9 $$VICTIM 2>/dev/null ) & \
+	/tmp/qssd_bench -server $$COORD -gen 200 -gen-seed 1 -repeat 3 -workers 4 -mk 9,10 -margin \
+		-o BENCH_coord.json examples/nets/*.pn || { kill -INT $$CRD $$PIDS 2>/dev/null; exit 1; }; \
+	kill -INT $$CRD; wait $$CRD; \
+	for p in $$PIDS; do kill -INT $$p 2>/dev/null || true; done; wait || true
+	@grep -E '"(availability|latency_p50_ms|latency_p99_ms|requests_per_sec)"' BENCH_coord.json
+	@grep -oE '"(failovers|retries|degraded_serves|unavailable)": *[0-9]+' BENCH_coord.json
+
 # Phase-regression gate (see docs/TRACING.md): run a small fixed traced
 # corpus and compare each phase's total time (>2x fails) and count
 # (>1.25x fails) against the committed BENCH_phases.json. phase-baseline
@@ -91,4 +138,4 @@ atmbench:
 	go run ./cmd/atmbench
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt BENCH_engine.json BENCH_journal.jsonl BENCH_service.json
+	rm -f cover.out test_output.txt bench_output.txt BENCH_engine.json BENCH_journal.jsonl BENCH_service.json BENCH_coord.json

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fcpn/internal/coord"
+)
+
+// runCoord runs the fault-tolerant multi-host coordinator: an HTTP
+// front door routing /v1/analyze and /v1/report to N `qssd serve`
+// backends by canonical-hash prefix, with circuit breakers, hedged
+// retries, journal reissue and stale degraded serving (internal/coord,
+// docs/SERVICE.md). Lifecycle matches `qssd serve`: bind, print the
+// bound address, serve until SIGINT/SIGTERM, drain, flush the journal.
+func runCoord(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qssd coord", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+	backends := fs.String("backends", "", "comma-separated base URLs of the qssd serve hosts (required)")
+	journalPath := fs.String("journal", "", "coordinator journal path; backend journals fold into it on boot")
+	mergeGlob := fs.String("merge-journals", "", "glob of backend journal files folded on boot (reissue + stale cache), e.g. '/var/lib/qssd/*/shard-*.jsonl'")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "per-backend /readyz probe cadence while healthy")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive failures before a backend's circuit breaker opens")
+	retries := fs.Int("retries", 4, "attempts per request across hosts before degrading")
+	retryBudget := fs.Duration("retry-budget", time.Minute, "total wall-clock budget of one request's retry loop")
+	hedgeAfter := fs.Duration("hedge-after", 250*time.Millisecond, "fire a hedged request to the failover host past this latency (0 disables)")
+	seed := fs.Uint64("seed", 1, "seed of the retry/hedge jitter stream")
+	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = 1 MiB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return fmt.Errorf("-backends is required (comma-separated base URLs)")
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("coord takes no positional arguments, got %q", fs.Args())
+	}
+	if *breakerThreshold < 1 || *retries < 1 {
+		return fmt.Errorf("-breaker-threshold and -retries must be >= 1")
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	var backendJournals []string
+	if *mergeGlob != "" {
+		matches, err := filepath.Glob(*mergeGlob)
+		if err != nil {
+			return fmt.Errorf("-merge-journals: %w", err)
+		}
+		backendJournals = matches
+	}
+
+	c, err := coord.New(coord.Config{
+		Backends:         urls,
+		ProbeInterval:    *probeInterval,
+		BreakerThreshold: *breakerThreshold,
+		RetryAttempts:    *retries,
+		RetryBudget:      *retryBudget,
+		HedgeAfter:       *hedgeAfter,
+		Journal:          *journalPath,
+		BackendJournals:  backendJournals,
+		Seed:             *seed,
+		MaxBodyBytes:     *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	fmt.Fprintf(stdout, "qssd: coordinating on http://%s (%d backends)\n", ln.Addr(), len(urls))
+
+	hs := &http.Server{Handler: c.Handler()}
+	sig, release := serveSignals()
+	defer release()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sig
+		c.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		c.Close()
+		return err
+	}
+	<-done
+	if err := c.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "qssd: coordinator drained")
+	return nil
+}

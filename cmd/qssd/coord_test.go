@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// multiProc boots several qssd processes (serve and coord) inside one
+// test. Unlike startServe's one-shot swap, serveSignals is replaced
+// once with a factory handing each process its own signal channel, so
+// instances can be stopped together regardless of start order.
+type multiProc struct {
+	t  *testing.T
+	mu sync.Mutex
+	// one signal channel and one exit channel per started process
+	sigs  []chan os.Signal
+	errcs []chan error
+	outs  []*syncBuf
+}
+
+func newMultiProc(t *testing.T) *multiProc {
+	t.Helper()
+	m := &multiProc{t: t}
+	old := serveSignals
+	serveSignals = func() (<-chan os.Signal, func()) {
+		ch := make(chan os.Signal, 1)
+		m.mu.Lock()
+		m.sigs = append(m.sigs, ch)
+		m.mu.Unlock()
+		return ch, func() {}
+	}
+	t.Cleanup(func() { serveSignals = old })
+	return m
+}
+
+// start boots one process and scrapes its bound base URL from the
+// line starting with prefix (e.g. "qssd: serving on ").
+func (m *multiProc) start(prefix string, args ...string) string {
+	m.t.Helper()
+	out := &syncBuf{}
+	errc := make(chan error, 1)
+	go func() { errc <- run(args, out) }()
+	m.mu.Lock()
+	m.errcs = append(m.errcs, errc)
+	m.outs = append(m.outs, out)
+	m.mu.Unlock()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			m.t.Fatalf("%q never printed its address; output: %q", args, out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, prefix) {
+				return strings.Fields(line)[3]
+			}
+		}
+		select {
+		case err := <-errc:
+			m.t.Fatalf("%q exited early: %v (output %q)", args, err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// stopAll interrupts every process and waits for clean exits.
+func (m *multiProc) stopAll() {
+	m.t.Helper()
+	m.mu.Lock()
+	sigs, errcs := m.sigs, m.errcs
+	m.mu.Unlock()
+	for _, ch := range sigs {
+		ch <- os.Interrupt
+	}
+	for i, errc := range errcs {
+		select {
+		case err := <-errc:
+			if err != nil {
+				m.t.Fatalf("process %d shutdown: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			m.t.Fatalf("process %d did not shut down", i)
+		}
+	}
+}
+
+// TestQssdCoordClientRoundTrip is the CLI smoke of the coordinator:
+// two serve backends, a coord front door, and the HTTP client mode
+// driving a corpus through it — full availability, a journal on disk,
+// and the drain banner on shutdown.
+func TestQssdCoordClientRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := newMultiProc(t)
+	b0 := m.start("qssd: serving on ", "serve", "-addr", "127.0.0.1:0", "-shards", "1")
+	b1 := m.start("qssd: serving on ", "serve", "-addr", "127.0.0.1:0", "-shards", "1")
+	coordBase := m.start("qssd: coordinating on ", "coord",
+		"-addr", "127.0.0.1:0",
+		"-backends", b0+","+b1,
+		"-journal", filepath.Join(dir, "coord.jsonl"),
+		"-probe-interval", "50ms",
+	)
+
+	outPath := filepath.Join(dir, "report.json")
+	var buf bytes.Buffer
+	err := run([]string{"-server", coordBase, "-gen", "4", "-gen-seed", "70",
+		"-repeat", "2", "-workers", "2", "-o", outPath}, &buf)
+	if err != nil {
+		t.Fatalf("client run through coordinator: %v", err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep batchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatusCounts["ok"] != 4 || rep.Jobs != 8 {
+		t.Fatalf("status counts %+v jobs %d", rep.StatusCounts, rep.Jobs)
+	}
+	if rep.Availability != 1 {
+		t.Errorf("availability = %v, want 1 with all backends healthy", rep.Availability)
+	}
+	if rep.LatencyP50MS <= 0 || rep.LatencyP99MS < rep.LatencyP50MS {
+		t.Errorf("latency percentiles: p50=%v p99=%v", rep.LatencyP50MS, rep.LatencyP99MS)
+	}
+	if len(rep.ServerStats) == 0 {
+		t.Error("server_stats (coordinator /v1/stats) missing")
+	}
+
+	m.stopAll()
+	coordOut := m.outs[2].String()
+	if !strings.Contains(coordOut, "qssd: coordinator drained") {
+		t.Errorf("coordinator drain banner missing: %q", coordOut)
+	}
+	// The coordinator journalled the batch's analyses.
+	if st, err := os.Stat(filepath.Join(dir, "coord.jsonl")); err != nil || st.Size() == 0 {
+		t.Errorf("coordinator journal missing or empty: %v", err)
+	}
+}
+
+// TestQssdCoordFlagValidation pins the refusal paths of the coord
+// subcommand.
+func TestQssdCoordFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"coord"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "-backends") {
+		t.Errorf("missing -backends: err=%v", err)
+	}
+	if err := run([]string{"coord", "-backends", "http://x", "stray"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "positional") {
+		t.Errorf("positional args: err=%v", err)
+	}
+	if err := run([]string{"coord", "-backends", "http://x", "-retries", "0"}, &buf); err == nil {
+		t.Error("zero retries must be refused")
+	}
+	if err := run([]string{"coord", "-backends", "http://x", "-breaker-threshold", "0"}, &buf); err == nil {
+		t.Error("zero breaker threshold must be refused")
+	}
+}

@@ -66,9 +66,16 @@ type batchReport struct {
 
 	// Client mode (-server): where the requests went, request throughput
 	// over all passes, the service's cache-marker tallies split by pass
-	// regime, and the service's own /v1/stats document.
+	// regime, and the service's own /v1/stats document. Availability is
+	// the fraction of requests answered 200 after client-side retries —
+	// with a coordinator absorbing backend faults it should stay 1.0
+	// even with a host killed mid-batch (make bench-coord). The latency
+	// percentiles are nearest-rank over every request of every pass.
 	ServerURL      string          `json:"server_url,omitempty"`
 	RequestsPerSec float64         `json:"requests_per_sec,omitempty"`
+	Availability   float64         `json:"availability,omitempty"`
+	LatencyP50MS   float64         `json:"latency_p50_ms,omitempty"`
+	LatencyP99MS   float64         `json:"latency_p99_ms,omitempty"`
 	ColdCache      map[string]int  `json:"cold_cache,omitempty"`
 	WarmCache      map[string]int  `json:"warm_cache,omitempty"`
 	ServerStats    json.RawMessage `json:"server_stats,omitempty"`

@@ -9,9 +9,14 @@
 //     lifetime-trace counters.
 //   - Service ("qssd serve"): expose the engine as a long-running
 //     sharded HTTP/JSON service (see docs/SERVICE.md).
+//   - Coordinator ("qssd coord"): the fault-tolerant multi-host front
+//     door — route requests across N serve hosts by canonical-hash
+//     prefix with circuit breakers, hedged retries, journal reissue
+//     and degraded stale serving (see docs/SERVICE.md).
 //   - Client ("qssd -server URL"): drive the corpus through a running
-//     service instead of an in-process engine and emit the same JSON
-//     batch report, plus request throughput and cache-marker tallies.
+//     service (or coordinator) instead of an in-process engine and emit
+//     the same JSON batch report, plus request throughput, availability
+//     and latency percentiles.
 //   - Merge ("qssd -merge"): fold several journals (e.g. the per-shard
 //     journals a service writes) into one compacted journal.
 //
@@ -24,6 +29,8 @@
 //	qssd -merge -journal out.jsonl in1.jsonl [in2.jsonl ...]
 //	qssd serve [-addr host:port] [-shards N] [-journal-dir dir]
 //	     [-workers W] [-submit-window W] [-job-timeout d]
+//	qssd coord -backends url1,url2[,...] [-addr host:port] [-journal f]
+//	     [-merge-journals glob] [-hedge-after d] [-retries N]
 //
 // A manifest is a text file with one .pn path per line ('#' comments);
 // relative paths resolve against the manifest's directory.
@@ -73,11 +80,16 @@ func main() {
 }
 
 // run is the testable core of the command: it dispatches between the
-// service mode ("serve" subcommand) and the flag-driven batch / client /
-// merge modes.
+// service modes ("serve" and "coord" subcommands) and the flag-driven
+// batch / client / merge modes.
 func run(args []string, stdout io.Writer) error {
-	if len(args) > 0 && args[0] == "serve" {
-		return runServe(args[1:], stdout)
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:], stdout)
+		case "coord":
+			return runCoord(args[1:], stdout)
+		}
 	}
 	return runBatch(args, stdout)
 }

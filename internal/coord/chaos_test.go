@@ -1,0 +1,208 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fcpn/internal/fault"
+	"fcpn/internal/figures"
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+	"fcpn/internal/server"
+)
+
+// TestCoordChaosSoak is the acceptance soak: three backends behind
+// seeded HTTP fault proxies, a coordinator in front, and a concurrent
+// batch during which one backend is killed outright and another starts
+// garbling (5xx substitution, torn bodies, connection resets)
+// mid-batch. The batch must lose zero jobs, fail over at least once,
+// and every report must be byte-identical to a fault-free reference
+// run — the content-addressed determinism argument, exercised end to
+// end through real faults.
+func TestCoordChaosSoak(t *testing.T) {
+	// Corpus: the paper figures plus generated pipelines, enough jobs to
+	// straddle the mid-batch fault injection.
+	srcs := []string{
+		petri.Format(figures.Figure2()),
+		petri.Format(figures.Figure5()),
+		petri.Format(figures.Figure7()),
+	}
+	for seed := uint64(10); len(srcs) < 24; seed++ {
+		srcs = append(srcs, petri.Format(netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig())))
+	}
+
+	// Fault-free reference: one plain backend, every net posted once.
+	reference := make([][]byte, len(srcs))
+	{
+		_, ref := bootBackend(t, server.Config{})
+		for i, src := range srcs {
+			resp, err := http.Post(ref.URL+"/v1/analyze", "text/plain", strings.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env server.AnalyzeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if env.Status != "ok" {
+				t.Fatalf("reference run failed on net %d: %+v", i, env)
+			}
+			reference[i] = env.Report
+		}
+	}
+
+	// Chaos topology: backend → fault proxy → coordinator, three wide.
+	type lane struct {
+		ts    *httptest.Server // the real service
+		proxy *fault.Proxy
+		front *httptest.Server // what the coordinator routes to
+	}
+	lanes := make([]*lane, 3)
+	urls := make([]string, 3)
+	for i := range lanes {
+		_, ts := bootBackend(t, server.Config{})
+		p := fault.NewProxy(ts.URL, uint64(100+i))
+		front := httptest.NewServer(p)
+		t.Cleanup(front.Close)
+		lanes[i] = &lane{ts: ts, proxy: p, front: front}
+		urls[i] = front.URL
+	}
+
+	cfg := fastConfig(urls...)
+	cfg.HedgeAfter = 150 * time.Millisecond
+	c, front := bootCoord(t, cfg)
+
+	// The batch: posts race the fault injection. Once a third of the
+	// jobs are done, backend 1 dies (connections cut, listener closed —
+	// the SIGKILL shape) and backend 2's proxy starts garbling most of
+	// its traffic.
+	var done atomic.Int64
+	var faultOnce sync.Once
+	injectFaults := func() {
+		faultOnce.Do(func() {
+			lanes[1].ts.CloseClientConnections()
+			lanes[1].ts.Close()
+			lanes[2].proxy.SetBehavior(fault.ProxyBehavior{
+				Err5xxPct: 30, TornPct: 20, ResetPct: 20,
+			})
+		})
+	}
+
+	got := make([][]byte, len(srcs))
+	var mu sync.Mutex
+	var failures []string
+	var degraded int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for i, src := range srcs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, src string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if done.Load() >= int64(len(srcs))/3 {
+				injectFaults()
+			}
+			// The coordinator absorbs the faults; the client side still
+			// keeps a small bounded retry for the window where breakers
+			// are mid-trip.
+			var code int
+			var env AnalyzeResponse
+			for attempt := 0; attempt < 5; attempt++ {
+				code, env = postCoord(t, front.URL, src)
+				if code == http.StatusOK && env.Status == "ok" {
+					break
+				}
+				time.Sleep(time.Duration(10*(attempt+1)) * time.Millisecond)
+			}
+			done.Add(1)
+			mu.Lock()
+			defer mu.Unlock()
+			if code != http.StatusOK || env.Status != "ok" {
+				failures = append(failures, env.Error)
+				return
+			}
+			if env.Degraded {
+				degraded++
+			}
+			got[i] = env.Report
+		}(i, src)
+	}
+	wg.Wait()
+
+	// Zero lost jobs.
+	if len(failures) > 0 {
+		t.Fatalf("%d/%d jobs lost: %q", len(failures), len(srcs), failures)
+	}
+	// Byte-identical to the fault-free reference.
+	for i := range srcs {
+		if !bytes.Equal(got[i], reference[i]) {
+			t.Errorf("net %d: chaos-run report diverged from fault-free reference", i)
+		}
+	}
+	// The faults actually bit: the dead backend's prefix range failed
+	// over, and the proxies injected real damage.
+	rep := c.StatsReport()
+	if rep.Requests.Failovers < 1 {
+		t.Fatalf("no failovers recorded — the kill did not exercise rerouting: %+v", rep.Requests)
+	}
+	if inj := lanes[2].proxy.Injected(); len(inj) == 0 {
+		t.Logf("garbling proxy injected nothing (all traffic routed away first): %+v", inj)
+	} else {
+		t.Logf("injected faults: %+v; failovers=%d retries=%d hedges=%d degraded=%d",
+			inj, rep.Requests.Failovers, rep.Requests.Retries, rep.Requests.Hedges, degraded)
+	}
+}
+
+// TestCoordChaosGarbledOnlyLane pins the garbling-only scenario without
+// a kill: every lane healthy but one proxy substituting non-JSON 502s
+// and tearing bodies for all its traffic. Retries and failover keep
+// every answer correct.
+func TestCoordChaosGarbledOnlyLane(t *testing.T) {
+	srcs := testCorpus(t, 10)
+
+	_, ref := bootBackend(t, server.Config{})
+	reference := make([][]byte, len(srcs))
+	for i, src := range srcs {
+		resp, err := http.Post(ref.URL+"/v1/analyze", "text/plain", strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env server.AnalyzeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		reference[i] = env.Report
+	}
+
+	_, clean := bootBackend(t, server.Config{})
+	_, dirty := bootBackend(t, server.Config{})
+	p := fault.NewProxy(dirty.URL, 7)
+	p.SetBehavior(fault.ProxyBehavior{Err5xxPct: 50, TornPct: 50})
+	dirtyFront := httptest.NewServer(p)
+	t.Cleanup(dirtyFront.Close)
+
+	c, front := bootCoord(t, fastConfig(clean.URL, dirtyFront.URL))
+	for i, src := range srcs {
+		code, env := postCoord(t, front.URL, src)
+		if code != http.StatusOK || env.Status != "ok" {
+			t.Fatalf("net %d through garbled lane: code=%d env=%+v", i, code, env)
+		}
+		if !bytes.Equal(env.Report, reference[i]) {
+			t.Errorf("net %d: report diverged behind the garbling proxy", i)
+		}
+	}
+	rep := c.StatsReport()
+	if rep.Requests.Failovers < 1 && p.Injected()["5xx"]+p.Injected()["torn"] > 0 {
+		t.Fatalf("garbled lane never failed over: %+v injected=%+v", rep.Requests, p.Injected())
+	}
+}

@@ -46,9 +46,9 @@ type NetReport struct {
 	Reductions [][]string `json:"reductions,omitempty"`
 
 	// Scheduling (cache layer: complete schedules).
-	Schedulable   bool                 `json:"schedulable"`
-	ScheduleError string               `json:"schedule_error,omitempty"`
-	Allocations   int                  `json:"allocations,omitempty"`
+	Schedulable   bool   `json:"schedulable"`
+	ScheduleError string `json:"schedule_error,omitempty"`
+	Allocations   int    `json:"allocations,omitempty"`
 	// AllocationsSaturated marks Allocations as the math.MaxInt ceiling of
 	// core.CountAllocationsSat rather than a real count.
 	AllocationsSaturated bool                 `json:"allocation_count_saturated,omitempty"`

@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoBackend answers every request with a small JSON document.
+func echoBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"echo": string(body), "path": r.URL.Path})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	backend := echoBackend(t)
+	p := NewProxy(backend.URL, 1)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/analyze", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["echo"] != "hello" || got["path"] != "/v1/analyze" {
+		t.Fatalf("passthrough garbled the request: %+v", got)
+	}
+	if inj := p.Injected(); len(inj) != 0 {
+		t.Fatalf("clean proxy injected faults: %+v", inj)
+	}
+}
+
+func TestProxy5xxSubstitution(t *testing.T) {
+	backend := echoBackend(t)
+	p := NewProxy(backend.URL, 1)
+	p.SetBehavior(ProxyBehavior{Err5xxPct: 100})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("code = %d, want 502", resp.StatusCode)
+	}
+	if json.Valid(body) {
+		t.Fatalf("substituted body should not be JSON: %q", body)
+	}
+	if p.Injected()["5xx"] != 1 {
+		t.Fatalf("injected tally: %+v", p.Injected())
+	}
+}
+
+func TestProxyDropAndReset(t *testing.T) {
+	backend := echoBackend(t)
+	for _, b := range []ProxyBehavior{{DropPct: 100}, {ResetPct: 100}} {
+		p := NewProxy(backend.URL, 1)
+		p.SetBehavior(b)
+		front := httptest.NewServer(p)
+		if _, err := http.Get(front.URL + "/v1/stats"); err == nil {
+			t.Fatalf("%+v: killed connection must surface as a transport error", b)
+		}
+		front.Close()
+	}
+}
+
+func TestProxyTornBody(t *testing.T) {
+	backend := echoBackend(t)
+	p := NewProxy(backend.URL, 1)
+	p.SetBehavior(ProxyBehavior{TornPct: 100})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/analyze", "text/plain",
+		strings.NewReader(strings.Repeat("payload ", 16)))
+	if err != nil {
+		t.Fatal(err) // headers should arrive fine
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil && json.Valid(body) {
+		t.Fatalf("torn body read cleanly as valid JSON: err=%v body=%q", rerr, body)
+	}
+	if p.Injected()["torn"] != 1 {
+		t.Fatalf("injected tally: %+v", p.Injected())
+	}
+}
+
+func TestProxyDelayThenForward(t *testing.T) {
+	backend := echoBackend(t)
+	p := NewProxy(backend.URL, 1)
+	p.SetBehavior(ProxyBehavior{DelayPct: 100, Delay: 20 * time.Millisecond})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	t0 := time.Now()
+	resp, err := http.Get(front.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("delayed request returned in %v", d)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delayed request must still forward: %d", resp.StatusCode)
+	}
+}
+
+// TestProxyDeterministicSequence pins the seeded draw stream: two
+// proxies with the same seed and behaviour inject the same fault
+// sequence over a serial request stream.
+func TestProxyDeterministicSequence(t *testing.T) {
+	backend := echoBackend(t)
+	mix := ProxyBehavior{Err5xxPct: 30, DelayPct: 20, Delay: time.Millisecond}
+	run := func(seed uint64) []int64 {
+		p := NewProxy(backend.URL, seed)
+		p.SetBehavior(mix)
+		front := httptest.NewServer(p)
+		defer front.Close()
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(front.URL + "/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		inj := p.Injected()
+		return []int64{inj["5xx"], inj["delay"]}
+	}
+	a, b := run(7), run(7)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a[0] == 0 || a[1] == 0 {
+		t.Fatalf("mix injected nothing: %v", a)
+	}
+	if c := run(8); c[0] == a[0] && c[1] == a[1] {
+		t.Logf("different seed produced same tallies (possible, unlikely): %v", c)
+	}
+}

@@ -38,6 +38,12 @@ type Entry struct {
 	Error     string            `json:"error,omitempty"`
 	ElapsedMS float64           `json:"elapsed_ms"`
 	Report    *engine.NetReport `json:"report,omitempty"`
+	// Net is the `.pn` source of the net, recorded only for reissueable
+	// outcomes (timeout, panicked): a journal reader holding such an
+	// entry — the multi-host coordinator's boot reissue pass — can
+	// re-submit the work without access to the original corpus. Empty
+	// for completed jobs, whose Report already says everything.
+	Net string `json:"net,omitempty"`
 }
 
 // Writer appends entries to a journal file. Writes go straight to the

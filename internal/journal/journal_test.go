@@ -3,6 +3,7 @@ package journal
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -236,5 +237,127 @@ func TestMergeIntoExistingInput(t *testing.T) {
 	}
 	if len(got) != 2 {
 		t.Fatalf("in-place merge lost entries: %+v", got)
+	}
+}
+
+// TestMergePropertyRandomized is the property-based check of Merge's
+// precedence rules over seeded random journal populations:
+//
+//  1. quarantine records survive any merge order: a hash whose records
+//     are all quarantine-class (panicked/quarantined) merges to a
+//     quarantine-class record under EVERY input permutation, and no
+//     hash ever merges to "ok" unless some input actually journalled a
+//     successful analysis (merge cannot invent or forge a success);
+//  2. any hash journalled anywhere appears in the merge (nothing is
+//     dropped);
+//  3. three-way folds are associative: Merge(A,B,C) is byte-identical
+//     to Merge(Merge(A,B),C) and Merge(A,Merge(B,C)) — the coordinator
+//     may fold backend journals in one pass or incrementally and land
+//     on the same file.
+func TestMergePropertyRandomized(t *testing.T) {
+	statuses := []string{
+		string(engine.StatusOK),
+		string(engine.StatusTimeout),
+		string(engine.StatusPanicked),
+		string(engine.StatusQuarantined),
+	}
+	quarantineClass := func(s string) bool {
+		return s == string(engine.StatusPanicked) || s == string(engine.StatusQuarantined)
+	}
+
+	// splitmix64: the same seeded generator the fault injector uses, so
+	// the trial populations are reproducible without math/rand.
+	rng := uint64(20260808)
+	next := func(n int) int {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int((z ^ (z >> 31)) % uint64(n))
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		dir := t.TempDir()
+		// Random population: ~8 hashes, ~24 records spread over 3 journals.
+		nHashes := 4 + next(6)
+		journals := make([][]Entry, 3)
+		type world struct{ sawOK, allQuarantine bool }
+		byHash := map[string]*world{}
+		for rec := 0; rec < 16+next(16); rec++ {
+			h := fmt.Sprintf("hash-%02d", next(nHashes))
+			st := statuses[next(len(statuses))]
+			j := next(3)
+			journals[j] = append(journals[j], Entry{
+				Hash: h, Source: fmt.Sprintf("trial%d", trial), Status: st,
+			})
+			w := byHash[h]
+			if w == nil {
+				w = &world{allQuarantine: true}
+				byHash[h] = w
+			}
+			w.sawOK = w.sawOK || st == string(engine.StatusOK)
+			w.allQuarantine = w.allQuarantine && quarantineClass(st)
+		}
+		paths := make([]string, 3)
+		for i, ents := range journals {
+			paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+			write(t, paths[i], "", ents...)
+		}
+
+		// Property 1+2 under every permutation of the three inputs.
+		for _, perm := range [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+			in := []string{paths[perm[0]], paths[perm[1]], paths[perm[2]]}
+			out := filepath.Join(dir, "merged.jsonl")
+			if _, _, err := Merge(out, in); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for h, w := range byHash {
+				ent, ok := got[h]
+				if !ok {
+					t.Fatalf("trial %d perm %v: merge dropped %s", trial, perm, h)
+				}
+				if w.allQuarantine && !quarantineClass(ent.Status) {
+					t.Fatalf("trial %d perm %v: poisoned %s un-poisoned to %q",
+						trial, perm, h, ent.Status)
+				}
+				if !w.sawOK && ent.Status == string(engine.StatusOK) {
+					t.Fatalf("trial %d perm %v: merge invented a success for %s",
+						trial, perm, h)
+				}
+			}
+		}
+
+		// Property 3: associativity, byte-for-byte.
+		oneShot := filepath.Join(dir, "one-shot.jsonl")
+		if _, _, err := Merge(oneShot, paths); err != nil {
+			t.Fatal(err)
+		}
+		leftAB := filepath.Join(dir, "left-ab.jsonl")
+		leftAll := filepath.Join(dir, "left-all.jsonl")
+		if _, _, err := Merge(leftAB, paths[:2]); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Merge(leftAll, []string{leftAB, paths[2]}); err != nil {
+			t.Fatal(err)
+		}
+		rightBC := filepath.Join(dir, "right-bc.jsonl")
+		rightAll := filepath.Join(dir, "right-all.jsonl")
+		if _, _, err := Merge(rightBC, paths[1:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Merge(rightAll, []string{paths[0], rightBC}); err != nil {
+			t.Fatal(err)
+		}
+		one, _ := os.ReadFile(oneShot)
+		left, _ := os.ReadFile(leftAll)
+		right, _ := os.ReadFile(rightAll)
+		if !bytes.Equal(one, left) || !bytes.Equal(one, right) {
+			t.Fatalf("trial %d: three-way fold is not associative:\none-shot:\n%s\nleft:\n%s\nright:\n%s",
+				trial, one, left, right)
+		}
 	}
 }

@@ -229,24 +229,33 @@ func (s *Server) Close() error {
 	return first
 }
 
-// shardFor routes a canonical hash to its shard by numeric hash prefix.
-// Canonical hashes are SHA-256 hex, so the first 8 hex digits are a
-// uniform 32-bit key; anything shorter or non-hex (never produced by
-// petri.CanonicalHash, but the router stays total) falls back to FNV.
-func (s *Server) shardFor(hash string) *shard {
-	if len(s.shards) == 1 {
-		return s.shards[0]
+// PrefixIndex routes a canonical hash to one of n partitions by numeric
+// hash prefix. Canonical hashes are SHA-256 hex, so the first 8 hex
+// digits are a uniform 32-bit key; anything shorter or non-hex (never
+// produced by petri.CanonicalHash, but the router stays total) falls
+// back to FNV. This is the single routing function of the whole
+// deployment: in-process shards partition by it, and the multi-host
+// coordinator (internal/coord) routes to backend hosts by it, so a
+// report journalled by shard i of host j is findable from anywhere.
+func PrefixIndex(hash string, n int) int {
+	if n <= 1 {
+		return 0
 	}
 	prefix := hash
 	if len(prefix) > 8 {
 		prefix = prefix[:8]
 	}
 	if v, err := strconv.ParseUint(prefix, 16, 64); err == nil && len(prefix) > 0 {
-		return s.shards[v%uint64(len(s.shards))]
+		return int(v % uint64(n))
 	}
 	f := fnv.New32a()
 	f.Write([]byte(hash))
-	return s.shards[f.Sum32()%uint32(len(s.shards))]
+	return int(f.Sum32() % uint32(n))
+}
+
+// shardFor routes a canonical hash to its shard via PrefixIndex.
+func (s *Server) shardFor(hash string) *shard {
+	return s.shards[PrefixIndex(hash, len(s.shards))]
 }
 
 // ---- wire types ------------------------------------------------------
@@ -449,6 +458,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		if r.Err != nil {
 			ent.Error = r.Err.Error()
+		}
+		// Reissueable outcomes carry the net source so a coordinator
+		// folding this journal can re-submit the work elsewhere.
+		if r.Status == engine.StatusTimeout || r.Status == engine.StatusPanicked {
+			ent.Net = petri.Format(n)
 		}
 		sh.journal.Record(ent)
 	})

@@ -9,12 +9,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"fcpn/internal/engine"
 	"fcpn/internal/figures"
 	"fcpn/internal/journal"
+	"fcpn/internal/netgen"
 	"fcpn/internal/petri"
 )
 
@@ -502,6 +505,99 @@ func TestServiceConcurrentIdenticalPosts(t *testing.T) {
 		}
 	}
 	t.Logf("%d ok, %d rejected by admission control", len(okReports), rejected)
+}
+
+// TestServiceDrainUnderLoad races a batch of concurrent analyses
+// against Drain: every request must finish as either a 200 with a
+// complete, parseable report or a clean 503 refusal envelope — never a
+// torn body, never a hung handler. This is the backend half of the
+// coordinator's rolling-restart story: a drain mid-batch shows up
+// upstream as retryable 503s, not corruption.
+func TestServiceDrainUnderLoad(t *testing.T) {
+	// A wide submit window keeps admission control out of the picture:
+	// the only refusal in play is the drain's 503.
+	s, ts := newTestServer(t, Config{Shards: 2, Engine: engine.Config{Workers: 2, SubmitWindow: 64}})
+
+	srcs := []string{
+		petri.Format(figures.Figure2()),
+		petri.Format(figures.Figure5()),
+		petri.Format(figures.Figure7()),
+	}
+	for seed := uint64(40); len(srcs) < 24; seed++ {
+		srcs = append(srcs, petri.Format(netgen.RandomSchedulablePipeline(seed, netgen.DefaultConfig())))
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	var finished atomic.Int64
+	var wg sync.WaitGroup
+	type outcome struct {
+		code int
+		body []byte
+		err  error
+	}
+	results := make(chan outcome, len(srcs))
+	for _, src := range srcs {
+		wg.Add(1)
+		go func(src string) {
+			defer wg.Done()
+			defer finished.Add(1)
+			resp, err := hc.Post(ts.URL+"/v1/analyze", "text/plain", strings.NewReader(src))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				results <- outcome{code: resp.StatusCode, err: rerr}
+				return
+			}
+			results <- outcome{code: resp.StatusCode, body: body}
+		}(src)
+	}
+	// Drain mid-batch: some requests have already completed, the rest
+	// race the flag.
+	for finished.Load() < int64(len(srcs))/4 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Drain()
+	wg.Wait()
+	close(results)
+
+	var completed, refused int
+	for o := range results {
+		if o.err != nil {
+			t.Fatalf("request neither completed nor cleanly refused: %v", o.err)
+		}
+		if !json.Valid(o.body) {
+			t.Fatalf("torn response body (code %d): %q", o.code, o.body)
+		}
+		var env AnalyzeResponse
+		if err := json.Unmarshal(o.body, &env); err != nil {
+			t.Fatalf("unparsable envelope (code %d): %q", o.code, o.body)
+		}
+		switch o.code {
+		case http.StatusOK:
+			if env.Status != "ok" || len(env.Report) == 0 || !json.Valid(env.Report) {
+				t.Fatalf("accepted request without a full report: %+v", env)
+			}
+			completed++
+		case http.StatusServiceUnavailable:
+			if env.Error == "" {
+				t.Fatalf("503 without an error message: %q", o.body)
+			}
+			refused++
+		default:
+			t.Fatalf("unexpected status %d: %q", o.code, o.body)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("drain raced ahead of every request; nothing completed")
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatal("drained server must fail readiness")
+	}
+	t.Logf("drain under load: %d completed, %d cleanly refused", completed, refused)
 }
 
 func fmtShardJournal(dir string, i int) string {
