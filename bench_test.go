@@ -101,7 +101,7 @@ func BenchmarkFigure5Reduce(b *testing.B) {
 		}
 		for _, a := range allocs {
 			red := core.Reduce(n, a)
-			if !red.Sub.Net.IsConflictFree() {
+			if !red.Subnet().Net.IsConflictFree() {
 				b.Fatal("reduction not conflict-free")
 			}
 			rep := core.CheckReduction(n, red, core.Options{})
@@ -145,6 +145,54 @@ func BenchmarkATMSchedule(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles), "cycles-in-schedule")
 	b.ReportMetric(float64(tasks), "tasks")
+}
+
+// BenchmarkReduceSweep isolates the reduction kernel on the atmserver
+// sweep: every allocation of the ATM net (the full 2048-point product)
+// through one shared Reducer, the way EnumerateDistinctReductions drives
+// it. -benchmem makes the worklist kernel's allocation profile visible.
+func BenchmarkReduceSweep(b *testing.B) {
+	m := atm.New()
+	allocs, err := core.EnumerateAllocations(m.Net, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(allocs)), "allocations")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := core.NewReducer(m.Net)
+		for _, a := range allocs {
+			rd.Reduce(a)
+		}
+	}
+}
+
+// BenchmarkDedupClasses isolates the isomorphism-class partition on the
+// atmserver reduction set: restriction-exact short-circuit, fingerprint
+// bucketing, and the WL escalation for whatever buckets remain.
+func BenchmarkDedupClasses(b *testing.B) {
+	m := atm.New()
+	reds, err := core.EnumerateDistinctReductions(m.Net, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(reds)), "reductions")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh reductions each round: the class partition's cost lives in
+		// the lazy per-reduction caches (fingerprint, subnet, WL hash), so
+		// reusing warmed reductions would measure only map assembly.
+		if i > 0 {
+			if reds, err = core.EnumerateDistinctReductions(m.Net, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := core.DedupClasses(m.Net, reds, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkTableIQSS reproduces the QSS column of Table I: the 2-task

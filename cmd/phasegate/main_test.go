@@ -68,12 +68,27 @@ func TestPhaseGatePassAndFail(t *testing.T) {
 		t.Fatalf("count gate disabled must pass: %v\n%s", err, buf.String())
 	}
 
-	// A regression confined to a sub-floor phase (petri/classify holds
-	// 0.3 ms in the baseline) must not gate; raising the floor above
-	// every phase is rejected instead of passing vacuously.
+	// A TIME regression confined to a sub-floor phase must not gate: with
+	// the count gate disabled, a floor above every phase leaves nothing to
+	// check and is rejected instead of passing vacuously.
 	buf.Reset()
-	if err := run([]string{"-report", base, "-baseline", baseline, "-floor-ms", "1000"}, &buf); err == nil {
-		t.Fatal("a floor above every phase must be an error, not a pass")
+	if err := run([]string{"-report", base, "-baseline", baseline, "-floor-ms", "1000", "-max-count-regress", "0"}, &buf); err == nil {
+		t.Fatal("a floor above every phase with the count gate off must be an error, not a pass")
+	}
+	// But a COUNT regression in a sub-floor phase still gates: the floor
+	// only silences the noisy time comparison, counts are deterministic.
+	// petri/classify holds 0.3 ms ×20 in the baseline; the same report
+	// compared under a floor above everything must pass on counts alone...
+	buf.Reset()
+	if err := run([]string{"-report", base, "-baseline", baseline, "-floor-ms", "1000"}, &buf); err != nil {
+		t.Fatalf("count-only gating must pass on identical counts: %v\n%s", err, buf.String())
+	}
+	// ...and a count jump must fail even when every phase sits under the
+	// floor — the floor never exempts a count regression.
+	countOnly := fakeReport(t, dir, "countonly.json", 100, 0.4, 580)
+	buf.Reset()
+	if err := run([]string{"-report", countOnly, "-baseline", baseline, "-floor-ms", "1000"}, &buf); err == nil {
+		t.Fatalf("sub-floor count regression must fail the gate:\n%s", buf.String())
 	}
 }
 

@@ -110,7 +110,7 @@ func TestExperimentsFigure5and6(t *testing.T) {
 		if !got["[1 1 2 4 0 0]"] || !got["[0 0 0 1 1 1]"] {
 			t.Fatalf("R1 invariants = %v", got)
 		}
-		if first := red.Steps[0]; first != "remove t3 (unallocated)" {
+		if first := red.Steps()[0]; first != "remove t3 (unallocated)" {
 			t.Fatalf("figure 6 first step = %q", first)
 		}
 	}

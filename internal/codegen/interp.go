@@ -10,7 +10,9 @@ import (
 
 // ChoiceResolver supplies the run-time value of a control token: it
 // returns the index (into alternatives) of the transition the data selects.
-// In the real system this is the generated `read_p()` predicate.
+// In the real system this is the generated `read_p()` predicate. The
+// alternatives slice is only valid for the duration of the call — the
+// interpreter reuses its backing array across choices.
 type ChoiceResolver func(p petri.Place, alternatives []petri.Transition) int
 
 // ExecStats accumulates observable behaviour of an interpreted program.
@@ -60,6 +62,12 @@ type Interp struct {
 	tracing    bool
 	trace      []TraceEntry
 	traceStart int
+
+	// alts is the scratch alternatives slice handed to Resolve; choices
+	// fire on every simulated cycle, so it is reused rather than
+	// reallocated per ChoiceNode. Safe across the recursive exec: the
+	// slice is dead before the chosen branch's body runs.
+	alts []petri.Transition
 }
 
 // NewInterp prepares an interpreter with counters initialised from the
@@ -188,12 +196,12 @@ func (in *Interp) exec(nodes []Node) error {
 				return err
 			}
 		case ChoiceNode:
-			alternatives := make([]petri.Transition, len(x.Branches))
-			for i, br := range x.Branches {
-				alternatives[i] = br.T
+			in.alts = in.alts[:0]
+			for _, br := range x.Branches {
+				in.alts = append(in.alts, br.T)
 			}
 			in.Stats.Ops++
-			pick := in.Resolve(x.P, alternatives)
+			pick := in.Resolve(x.P, in.alts)
 			if pick < 0 || pick >= len(x.Branches) {
 				// Resolution selects a transition outside this node's
 				// branches (modular single-branch test): skip.

@@ -219,6 +219,11 @@ func enumerateDistinctReductions(ctx context.Context, n *petri.Net, maxReduction
 	var out []*Reduction
 	var prunes []*PrunedBranch
 	seen := map[string]bool{}
+	// One reducer serves the whole search: its scratch buffers (alive
+	// masks, producer counts, worklist) are reused across every reduce
+	// call, so the enumeration's cost per node is O(arcs) with no
+	// per-call allocation beyond the result.
+	rd := newReducer(n)
 
 	// assignment[i] = chosen alternative index for cluster i, -1 if the
 	// cluster has not been forced by the search yet (defaults to 0).
@@ -253,12 +258,12 @@ func enumerateDistinctReductions(ctx context.Context, n *petri.Net, maxReduction
 				prunes = append(prunes, &PrunedBranch{
 					Excluded: excludedList,
 					Source:   src,
-					Witness:  Reduce(n, &Allocation{Clusters: clusters, Chosen: chosen}),
+					Witness:  rd.reduce(&Allocation{Clusters: clusters, Chosen: chosen}),
 				})
 				return nil
 			}
 		}
-		red := Reduce(n, &Allocation{Clusters: clusters, Chosen: chosen})
+		red := rd.reduce(&Allocation{Clusters: clusters, Chosen: chosen})
 		// Find the first unforced cluster whose choice place survives:
 		// its resolution genuinely matters, so branch on it.
 		for i, c := range clusters {
@@ -267,7 +272,7 @@ func enumerateDistinctReductions(ctx context.Context, n *petri.Net, maxReduction
 			}
 			kept := false
 			for _, p := range c.Places {
-				if _, ok := red.Sub.FromParentPlace(p); ok {
+				if red.KeepsPlace(p) {
 					kept = true
 					break
 				}
@@ -285,7 +290,7 @@ func enumerateDistinctReductions(ctx context.Context, n *petri.Net, maxReduction
 			return nil
 		}
 		// Fully determined: record if new.
-		key := red.Sub.TransitionSetKey()
+		key := red.TransitionSetKey()
 		if !seen[key] {
 			seen[key] = true
 			out = append(out, red)

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"fcpn/internal/invariant"
@@ -76,13 +77,15 @@ type Options struct {
 	Semiflows invariant.Cache
 	// Trace optionally records detail spans for the pipeline's inner
 	// steps: "core/enumerate" (allocation/reduction enumeration),
-	// "core/check" (one per isomorphism-class representative
-	// schedulability check — the unit of Workers fan-out), "core/dedup"
-	// (class grouping plus one span per fanned-out duplicate member),
-	// "core/cycle" (finite-complete-cycle search) and the invariant
-	// package's spans, plus the core/dedup/*, core/semiflow/* and
-	// core/prune/* counters (see docs/TRACING.md). Nil disables
-	// collection; spans may end on any worker goroutine.
+	// "core/check" (one per class-representative schedulability check —
+	// the unit of Workers fan-out), "core/dedup/sig" (restriction-exact
+	// scan plus fingerprint bucketing), "core/dedup/wl" (one per
+	// Weisfeiler–Lehman escalation of a multi-member bucket), "core/dedup"
+	// (one span per fanned-out duplicate member), "core/cycle"
+	// (finite-complete-cycle search) and the invariant package's spans,
+	// plus the core/dedup/*, core/semiflow/* and core/prune/* counters
+	// (see docs/TRACING.md). Nil disables collection; spans may end on any
+	// worker goroutine.
 	Trace *trace.Tracer
 	// Ctx optionally cancels the pipeline's long loops — reduction
 	// enumeration, the schedulability sweep, finite-complete-cycle
@@ -290,6 +293,22 @@ func SolveReductions(n *petri.Net, reductions []*Reduction, opt Options) (*Sched
 	return solveReductions(n, reductions, opt, aids)
 }
 
+// DedupClasses partitions an enumerated reduction set into isomorphism
+// classes exactly as the sweep inside Solve does — restriction-exact
+// reductions become their own representatives, the rest are bucketed by
+// structural fingerprint and only multi-member buckets pay a canonical
+// (Weisfeiler–Lehman) hash. classOf[i] is the representative index of
+// reductions[i]; a nil slice means every reduction is its own class.
+// Exported for benchmarks and tooling that measure the dedup stage in
+// isolation.
+func DedupClasses(n *petri.Net, reductions []*Reduction, opt Options) ([]int, error) {
+	aids := checkAids{}
+	if parentTIs, err := invariant.TInvariants(n, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace}); err == nil {
+		aids = checkAids{parentTIs: parentTIs, haveParent: true}
+	}
+	return dedupClasses(reductions, opt, aids)
+}
+
 func solveReductions(n *petri.Net, reductions []*Reduction, opt Options, aids checkAids) (*Schedule, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
@@ -311,7 +330,10 @@ func solveReductions(n *petri.Net, reductions []*Reduction, opt Options, aids ch
 	// materialised per reduction, byte-identical to from-scratch checks,
 	// so the schedule keeps its shape).
 	reports := make([]*ReductionReport, len(reductions))
-	classOf := dedupClasses(reductions, opt)
+	classOf, err := dedupClasses(reductions, opt, aids)
+	if err != nil {
+		return nil, err
+	}
 	check := func(i int) {
 		sp := opt.Trace.StartDetail("core/check")
 		reports[i] = checkReduction(n, reductions[i], opt, aids)
@@ -355,41 +377,101 @@ func solveReductions(n *petri.Net, reductions []*Reduction, opt Options, aids ch
 	return sched, nil
 }
 
-// dedupClasses groups the reductions into isomorphism classes by canonical
-// hash of their subnets and returns classOf with classOf[i] the index of
-// reduction i's class representative (the class's first member in
-// enumeration order). nil means the dedup is off or pointless (every
-// reduction its own representative). Equal canonical hashes guarantee
-// isomorphic subnets — the hash covers the full relabelled structure — so
-// a class shares one schedulability verdict by Theorem 3.1.
-func dedupClasses(reductions []*Reduction, opt Options) []int {
+// dedupClasses groups the reductions into verdict-sharing classes and
+// returns classOf with classOf[i] the index of reduction i's class
+// representative (the class's first member in enumeration order). nil means
+// the dedup is off or pointless (every reduction its own representative).
+//
+// The grouping escalates in three stages, cheapest first:
+//
+//  1. Restriction-exact reductions (every place adjacent to a kept
+//     transition is kept) become their own representatives with no hashing
+//     at all: their check derives its invariants by exact parent-semiflow
+//     restriction, so there is no Farkas run for the isomorphism machinery
+//     to save. Requires aids.haveParent.
+//  2. The rest are bucketed by the O(arcs) round-0 fingerprint
+//     (petri.InducedFingerprint, "core/dedup/sig" span). Equal canonical
+//     hashes imply equal fingerprints, so a singleton bucket is provably
+//     alone in its isomorphism class and becomes its own representative
+//     with no Weisfeiler–Lehman run at all.
+//  3. Only multi-member buckets escalate to the full CanonicalForm
+//     refinement (one "core/dedup/wl" span per hash); classes still form
+//     only on equal full hashes, which guarantee isomorphic subnets — the
+//     hash covers the complete relabelled structure — so a class shares one
+//     schedulability verdict by Theorem 3.1.
+//
+// The error return is a cancellation: the stage boundaries and the WL
+// batch check opt.cancelled(), so a huge corpus net cannot make the dedup
+// stage uncancellable.
+func dedupClasses(reductions []*Reduction, opt Options, aids checkAids) ([]int, error) {
 	if opt.KeepDuplicateReductions || opt.KeepIsomorphicDuplicates || len(reductions) < 2 {
-		return nil
+		return nil, nil
 	}
-	sp := opt.Trace.StartDetail("core/dedup")
-	hashes := make([]string, len(reductions))
-	forEachIndex(len(reductions), opt.workerCount(), func(i int) {
-		hashes[i] = reductions[i].Sub.Net.CanonicalHash()
-	})
 	classOf := make([]int, len(reductions))
-	rep := make(map[string]int, len(reductions))
-	classes := 0
-	for i, h := range hashes {
-		if r, ok := rep[h]; ok {
+	for i := range classOf {
+		classOf[i] = i
+	}
+	sp := opt.Trace.StartDetail("core/dedup/sig")
+	var pool []int
+	exact := 0
+	for i, r := range reductions {
+		if aids.haveParent && r.restrictionExact() {
+			exact++
+			continue
+		}
+		pool = append(pool, i)
+	}
+	buckets := make(map[uint64][]int, len(pool))
+	for _, i := range pool {
+		fp := reductions[i].Fingerprint()
+		buckets[fp] = append(buckets[fp], i)
+	}
+	sp.End()
+	if err := opt.cancelled(); err != nil {
+		return nil, err
+	}
+	singles := 0
+	var multi []int
+	for _, b := range buckets {
+		if len(b) == 1 {
+			singles++
+		} else {
+			multi = append(multi, b...)
+		}
+	}
+	// Enumeration order: representatives must be each class's first member
+	// no matter how the bucket map iterated.
+	sort.Ints(multi)
+	hashes := make([]string, len(reductions))
+	forEachIndex(len(multi), opt.workerCount(), func(k int) {
+		if opt.cancelled() != nil {
+			return
+		}
+		wsp := opt.Trace.StartDetail("core/dedup/wl")
+		hashes[multi[k]] = reductions[multi[k]].Subnet().Net.CanonicalHash()
+		wsp.End()
+	})
+	if err := opt.cancelled(); err != nil {
+		return nil, err
+	}
+	rep := make(map[string]int, len(multi))
+	classes := exact + singles
+	for _, i := range multi {
+		if r, ok := rep[hashes[i]]; ok {
 			classOf[i] = r
 		} else {
-			rep[h] = i
-			classOf[i] = i
+			rep[hashes[i]] = i
 			classes++
 		}
 	}
-	sp.End()
+	opt.Trace.Add("core/dedup/exact", int64(exact))
+	opt.Trace.Add("core/dedup/singletons", int64(singles))
 	opt.Trace.Add("core/dedup/classes", int64(classes))
 	opt.Trace.Add("core/dedup/members", int64(len(reductions)-classes))
 	if classes == len(reductions) {
-		return nil
+		return nil, nil
 	}
-	return classOf
+	return classOf, nil
 }
 
 // fanOutReport re-derives a duplicate reduction's report from its class
@@ -406,7 +488,7 @@ func fanOutReport(n *petri.Net, member, rep *Reduction, repReport *ReductionRepo
 		// deterministic, so the member reproduces the same diagnosis.
 		return checkReduction(n, member, opt, checkAids{})
 	}
-	m := petri.MapTransitionsByCanonical(rep.Sub.Net, member.Sub.Net)
+	m := petri.MapTransitionsByCanonical(rep.Subnet().Net, member.Subnet().Net)
 	tis := make([]invariant.TInvariant, len(repReport.Invariants))
 	for k, ti := range repReport.Invariants {
 		counts := make([]int, len(ti.Counts))

@@ -181,7 +181,7 @@ func TestFigure5ReductionR1(t *testing.T) {
 	if got := r1.KeptPlaceNames(n); !reflect.DeepEqual(got, wantP) {
 		t.Fatalf("R1 places = %v, want %v", got, wantP)
 	}
-	if !r1.Sub.Net.IsConflictFree() {
+	if !r1.Subnet().Net.IsConflictFree() {
 		t.Fatal("T-reduction must be conflict-free")
 	}
 	// T-invariants of R1 (paper): (1,1,0,2,0,4,0,0,0) and
@@ -219,15 +219,16 @@ func TestFigure6ReductionSteps(t *testing.T) {
 		"remove p6": true, "remove t7 (no input place)": true,
 		"remove t7 (all inputs are source places)": true,
 	}
-	if len(r1.Steps) != 6 {
-		t.Fatalf("steps = %v, want 6 removals", r1.Steps)
+	steps := r1.Steps()
+	if len(steps) != 6 {
+		t.Fatalf("steps = %v, want 6 removals", steps)
 	}
-	if r1.Steps[0] != "remove t3 (unallocated)" || r1.Steps[1] != "remove p3" {
-		t.Fatalf("first steps = %v", r1.Steps[:2])
+	if steps[0] != "remove t3 (unallocated)" || steps[1] != "remove p3" {
+		t.Fatalf("first steps = %v", steps[:2])
 	}
-	for _, s := range r1.Steps {
+	for _, s := range steps {
 		if !want[s] {
-			t.Fatalf("unexpected step %q in %v", s, r1.Steps)
+			t.Fatalf("unexpected step %q in %v", s, steps)
 		}
 	}
 }

@@ -157,7 +157,7 @@ func TestSolveCyclesAlwaysValidProperty(t *testing.T) {
 			}
 			// Every transition of the reduction occurs at least once
 			// (Theorem 3.1's requirement).
-			for _, pt := range c.Reduction.Sub.ParentTransition {
+			for _, pt := range c.Reduction.KeptTransitions() {
 				if c.Counts[pt] == 0 {
 					t.Fatalf("%s: transition %s of the reduction missing from cycle",
 						n.Name(), n.TransitionName(pt))

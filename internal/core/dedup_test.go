@@ -21,7 +21,12 @@ import (
 // ones.
 func distillSolve(t *testing.T, n *petri.Net, opt Options) string {
 	t.Helper()
-	s, err := Solve(n, opt)
+	return distillOutcome(Solve(n, opt))
+}
+
+// distillOutcome flattens any (Schedule, error) solver outcome into the
+// comparable string distillSolve uses.
+func distillOutcome(s *Schedule, err error) string {
 	if err != nil {
 		var nse *NotSchedulableError
 		if errors.As(err, &nse) {
@@ -76,6 +81,36 @@ func TestDedupMatchesFromScratch(t *testing.T) {
 			if got := distillSolve(t, n, opt); got != base {
 				t.Errorf("%s: %+v diverges from scratch solve:\n got: %s\nwant: %s", name, opt, got, base)
 			}
+		}
+	}
+}
+
+func TestSweepPathsByteIdentical(t *testing.T) {
+	// The schedulability sweep resolves each reduction's invariants through
+	// one of three paths — restriction-exact own-representative checks
+	// (parent aids present), fingerprint-singleton + Weisfeiler–Lehman
+	// class checks with per-member fan-out (no aids), or from-scratch
+	// Farkas runs — and the whole point of the machinery is that the choice
+	// is invisible in the output. Running the same reduction set through
+	// the sweep with and without parent aids must produce byte-identical
+	// schedules, including every report's invariant set.
+	for name, n := range equivalenceCorpus(t) {
+		reds, err := EnumerateDistinctReductions(n, 0)
+		if err != nil {
+			continue
+		}
+		parentTIs, perr := invariant.TInvariants(n, invariant.Options{})
+		if perr != nil {
+			continue
+		}
+		noAids := distillOutcome(solveReductions(n, reds, Options{}, checkAids{}))
+		withAids := distillOutcome(solveReductions(n, reds, Options{}, checkAids{parentTIs: parentTIs, haveParent: true}))
+		if noAids != withAids {
+			t.Errorf("%s: sweep output depends on the invariant path:\nno aids: %s\n   aids: %s", name, noAids, withAids)
+		}
+		parallel := distillOutcome(solveReductions(n, reds, Options{Workers: 4}, checkAids{parentTIs: parentTIs, haveParent: true}))
+		if parallel != withAids {
+			t.Errorf("%s: parallel sweep diverges from serial:\n got: %s\nwant: %s", name, parallel, withAids)
 		}
 	}
 }
@@ -264,7 +299,12 @@ func TestDedupCountersAndClasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classOf := dedupClasses(reds, Options{})
+	// No parent aids: every reduction goes through the fingerprint buckets,
+	// so the Weisfeiler–Lehman escalation path is what this test exercises.
+	classOf, err := dedupClasses(reds, Options{}, checkAids{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if classOf == nil {
 		t.Skip("seed produced no isomorphic duplicates")
 	}
@@ -273,7 +313,7 @@ func TestDedupCountersAndClasses(t *testing.T) {
 		if r == i {
 			classes++
 		}
-		if reds[r].Sub.Net.CanonicalHash() != reds[i].Sub.Net.CanonicalHash() {
+		if reds[r].Subnet().Net.CanonicalHash() != reds[i].Subnet().Net.CanonicalHash() {
 			t.Fatalf("class member %d hashed differently from its representative %d", i, r)
 		}
 	}

@@ -163,7 +163,7 @@ func Explore(n *petri.Net, opt Options) ([]TradeoffPoint, error) {
 		}
 		sched := &Schedule{Net: n, AllocationCount: base.AllocationCount}
 		for _, c := range base.Cycles {
-			sub := c.Reduction.Sub
+			sub := c.Reduction.Subnet()
 			subCounts := make([]int, sub.Net.NumTransitions())
 			for st, pt := range sub.ParentTransition {
 				subCounts[st] = c.Counts[pt]

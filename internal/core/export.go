@@ -128,13 +128,13 @@ func ImportSchedule(n *petri.Net, ex *ScheduleExport) (*Schedule, error) {
 			}
 		}
 		red := Reduce(n, alloc)
-		key := red.Sub.TransitionSetKey()
+		key := red.TransitionSetKey()
 		if seen[key] {
 			return nil, fmt.Errorf("core: cycle %d duplicates the T-reduction of an earlier cycle", ci)
 		}
 		seen[key] = true
 		// Completeness per reduction: every kept transition fires.
-		for _, pt := range red.Sub.ParentTransition {
+		for _, pt := range red.KeptTransitions() {
 			if counts[pt] == 0 {
 				return nil, fmt.Errorf("core: cycle %d misses transition %s of its T-reduction",
 					ci, n.TransitionName(pt))

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"fcpn/internal/netgen"
+	"fcpn/internal/petri"
+)
+
+// checkFingerprintSoundness asserts the property the fingerprint-bucketed
+// dedup rests on: equal canonical (Weisfeiler–Lehman) hashes imply equal
+// round-0 fingerprints, so bucketing by fingerprint can never split an
+// isomorphism class — a singleton bucket is provably alone in its class
+// and safely skips the WL run. (The converse may fail: distinct classes
+// sharing a fingerprint merely share a bucket and are separated by the WL
+// escalation.)
+func checkFingerprintSoundness(t *testing.T, name string, n *petri.Net) {
+	t.Helper()
+	if n.Validate() != nil {
+		return
+	}
+	reds, err := EnumerateDistinctReductions(n, 4096)
+	if err != nil {
+		return
+	}
+	byHash := map[string]uint64{}
+	for i, r := range reds {
+		fp := r.Fingerprint()
+		h := r.Subnet().Net.CanonicalHash()
+		if prev, ok := byHash[h]; ok && prev != fp {
+			t.Fatalf("%s: reduction %d: canonical hash %s has fingerprints %x and %x — fingerprint split a WL class",
+				name, i, h[:12], prev, fp)
+		}
+		byHash[h] = fp
+	}
+}
+
+func TestFingerprintNeverSplitsWLClass(t *testing.T) {
+	for name, n := range equivalenceCorpus(t) {
+		checkFingerprintSoundness(t, name, n)
+	}
+}
+
+// FuzzFingerprintSoundness drives the soundness property over the netgen
+// generators: for every seeded net (both the schedulable-by-construction
+// pipelines and the unconstrained generator), equal CanonicalHash must
+// imply equal Fingerprint across the net's distinct T-reductions.
+func FuzzFingerprintSoundness(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	cfg := netgen.DefaultConfig()
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		checkFingerprintSoundness(t, "pipeline", netgen.RandomSchedulablePipeline(seed, cfg))
+		checkFingerprintSoundness(t, "random", netgen.RandomNet(seed, cfg))
+	})
+}

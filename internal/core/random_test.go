@@ -24,7 +24,7 @@ func TestRandomPipelinesAlwaysSchedulable(t *testing.T) {
 			if err := VerifyCompleteCycle(n, c.Sequence); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
-			for _, pt := range c.Reduction.Sub.ParentTransition {
+			for _, pt := range c.Reduction.KeptTransitions() {
 				if c.Counts[pt] == 0 {
 					t.Fatalf("seed %d: cycle misses reduction transition %s",
 						seed, n.TransitionName(pt))

@@ -82,7 +82,7 @@ func subnetInvariants(n *petri.Net, red *Reduction, opt Options, aids checkAids)
 		return aids.pre, nil
 	}
 	if aids.haveParent {
-		if tis, ok := invariant.RestrictTInvariants(n, red.Sub, aids.parentTIs); ok {
+		if tis, ok := invariant.RestrictTInvariants(n, red.Subnet(), aids.parentTIs); ok {
 			opt.Trace.Add("core/semiflow/restricted", 1)
 			return tis, nil
 		}
@@ -94,21 +94,23 @@ func subnetInvariants(n *petri.Net, red *Reduction, opt Options, aids checkAids)
 	// than the (int64 fast path) Farkas runs it saves. Whole-net Solve
 	// results are memoised one level up by internal/engine, so warm
 	// analyses never reach this code anyway.
-	return invariant.TInvariants(red.Sub.Net, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace})
+	return invariant.TInvariants(red.Subnet().Net, invariant.Options{MaxRows: opt.MaxRows, Trace: opt.Trace})
 }
 
 func checkReduction(n *petri.Net, red *Reduction, opt Options, aids checkAids) *ReductionReport {
 	report := &ReductionReport{Reduction: red}
-	sub := red.Sub.Net
 
 	// Deadline checkpoint: once the job is cancelled the remaining checks
-	// of the sweep degrade to stubs; SolveReductions surfaces the
-	// cancellation instead of any stub verdict.
+	// of the sweep degrade to stubs — before the subnet is even
+	// materialised; SolveReductions surfaces the cancellation instead of
+	// any stub verdict.
 	if err := opt.cancelled(); err != nil {
 		report.FailReason = err.Error()
 		report.Cause = err
 		return report
 	}
+	rsub := red.Subnet()
+	sub := rsub.Net
 
 	tis, err := subnetInvariants(n, red, opt, aids)
 	if err != nil {
@@ -120,14 +122,14 @@ func checkReduction(n *petri.Net, red *Reduction, opt Options, aids checkAids) *
 
 	// (1) Consistency of the reduction.
 	for _, t := range invariant.UncoveredTransitions(sub, tis) {
-		report.Uncovered = append(report.Uncovered, red.Sub.ToParentTransition(t))
+		report.Uncovered = append(report.Uncovered, rsub.ToParentTransition(t))
 	}
 	report.Consistent = len(report.Uncovered) == 0 && sub.NumTransitions() > 0
 
 	// (2) Every surviving source transition of N in some invariant.
 	report.SourcesCovered = true
 	for _, src := range n.SourceTransitions() {
-		st, kept := red.Sub.FromParentTransition(src)
+		st, kept := rsub.FromParentTransition(src)
 		if !kept {
 			// The reduction algorithm never removes sources; a missing
 			// source would be a structural anomaly worth reporting.
@@ -170,7 +172,7 @@ func checkReduction(n *petri.Net, red *Reduction, opt Options, aids checkAids) *
 	counts, uncoveredByGreedy := coveringCombination(tis, sub.NumTransitions())
 	if len(uncoveredByGreedy) > 0 {
 		for _, t := range uncoveredByGreedy {
-			report.Uncovered = append(report.Uncovered, red.Sub.ToParentTransition(t))
+			report.Uncovered = append(report.Uncovered, rsub.ToParentTransition(t))
 		}
 		report.FailReason = fmt.Sprintf("T-reduction %q has no covering T-invariant combination: transitions %s stay uncovered",
 			sub.Name(), transitionNames(n, report.Uncovered))
@@ -189,7 +191,7 @@ func checkReduction(n *petri.Net, red *Reduction, opt Options, aids checkAids) *
 		report.Cause = simErr
 		return report
 	}
-	report.Cycle = red.Sub.MapSequenceToParent(seq)
+	report.Cycle = rsub.MapSequenceToParent(seq)
 	report.Schedulable = true
 	return report
 }

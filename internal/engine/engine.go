@@ -592,6 +592,7 @@ func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule) 
 	}
 	count, saturated := core.CountAllocationsSat(n)
 	sched := &core.Schedule{Net: n, AllocationCount: count, AllocationCountSaturated: saturated}
+	rd := core.NewReducer(n)
 	for _, cc := range cs.cycles {
 		seq := make([]petri.Transition, len(cc.seq))
 		for j, pos := range cc.seq {
@@ -610,7 +611,7 @@ func rebuildSchedule(n *petri.Net, cf *petri.CanonicalForm, cs *cachedSchedule) 
 			}
 			chosen[ci] = t
 		}
-		red := core.Reduce(n, &core.Allocation{Clusters: clusters, Chosen: chosen})
+		red := rd.Reduce(&core.Allocation{Clusters: clusters, Chosen: chosen})
 		sched.Cycles = append(sched.Cycles, core.Cycle{
 			Sequence:  seq,
 			Counts:    n.FiringCount(seq),
@@ -639,6 +640,7 @@ func mapReductionsToTwin(cf *petri.CanonicalForm, twin *petri.Net, reds []*core.
 		}
 	}
 	out := make([]*core.Reduction, len(reds))
+	rd := core.NewReducer(twin)
 	for i, r := range reds {
 		chosen := make([]petri.Transition, len(clusters))
 		for k, c := range clusters {
@@ -649,10 +651,10 @@ func mapReductionsToTwin(cf *petri.CanonicalForm, twin *petri.Net, reds []*core.
 			ci := clusterOf[petri.Place(cf.PlacePos[cluster.Places[0]])]
 			chosen[ci] = petri.Transition(cf.TransPos[la.Chosen[k]])
 		}
-		out[i] = core.Reduce(twin, &core.Allocation{Clusters: clusters, Chosen: chosen})
+		out[i] = rd.Reduce(&core.Allocation{Clusters: clusters, Chosen: chosen})
 	}
 	sort.Slice(out, func(a, b int) bool {
-		return out[a].Sub.TransitionSetKey() < out[b].Sub.TransitionSetKey()
+		return out[a].TransitionSetKey() < out[b].TransitionSetKey()
 	})
 	return out
 }
@@ -680,8 +682,9 @@ func (e *Engine) reductions(ctx context.Context, n *petri.Net, cf *petri.Canonic
 		fresh = &twinReds{net: twin, reds: mapReductionsToTwin(cf, twin, reds)}
 		rows := make([][]int, len(reds))
 		for i, r := range reds {
-			row := make([]int, len(r.Sub.ParentTransition))
-			for j, t := range r.Sub.ParentTransition {
+			kept := r.KeptTransitions()
+			row := make([]int, len(kept))
+			for j, t := range kept {
 				row[j] = cf.TransPos[t]
 			}
 			sort.Ints(row)

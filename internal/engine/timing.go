@@ -121,7 +121,12 @@ func timingWorkload(n *petri.Net, cf *petri.CanonicalForm, o TimingOptions) []rt
 // layer's cached verdicts be a function of the canonical structure alone
 // (sim.DecisionStream hashes net-local indices and would not be).
 func canonResolver(n *petri.Net, cf *petri.CanonicalForm, seed uint64) codegen.ChoiceResolver {
-	occ := make(map[petri.Place]uint64)
+	// Dense place-indexed state: the resolver runs once per simulated
+	// choice, so occurrence counters and the (static) canonical consumer
+	// order are slice lookups, not map operations; the order is computed
+	// lazily per place instead of sorted on every call.
+	occ := make([]uint64, n.NumPlaces())
+	order := make([][]petri.Transition, n.NumPlaces())
 	return func(p petri.Place, alts []petri.Transition) int {
 		k := occ[p]
 		occ[p] = k + 1
@@ -129,12 +134,16 @@ func canonResolver(n *petri.Net, cf *petri.CanonicalForm, seed uint64) codegen.C
 		h ^= h >> 31
 		h *= 0x94D049BB133111EB
 		h ^= h >> 29
-		cons := n.Consumers(p)
-		ts := make([]petri.Transition, len(cons))
-		for i, c := range cons {
-			ts[i] = c.Transition
+		ts := order[p]
+		if ts == nil {
+			cons := n.Consumers(p)
+			ts = make([]petri.Transition, len(cons))
+			for i, c := range cons {
+				ts[i] = c.Transition
+			}
+			sort.Slice(ts, func(a, b int) bool { return cf.TransPos[ts[a]] < cf.TransPos[ts[b]] })
+			order[p] = ts
 		}
-		sort.Slice(ts, func(a, b int) bool { return cf.TransPos[ts[a]] < cf.TransPos[ts[b]] })
 		target := ts[h%uint64(len(ts))]
 		for i, t := range alts {
 			if t == target {

@@ -1,0 +1,145 @@
+package petri
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// NodeSet is a bitset over node indices (places or transitions). The QSS
+// reduction pipeline in internal/core represents T-reductions as kept-node
+// bitsets over the parent net instead of materialised subnets, so the hot
+// enumeration/dedup loops never touch the Builder.
+type NodeSet []uint64
+
+// NewNodeSet returns an empty set sized for indices 0..n-1.
+func NewNodeSet(n int) NodeSet { return make(NodeSet, (n+63)/64) }
+
+// Add inserts index i. i must be within the size the set was created with.
+func (s NodeSet) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Has reports whether index i is in the set.
+func (s NodeSet) Has(i int) bool {
+	w := i >> 6
+	return w < len(s) && s[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of indices in the set.
+func (s NodeSet) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// FNV-1a 64-bit parameters (hash/fnv is not used directly: the fingerprint
+// mixes raw uint64 values, not byte streams).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit value into an FNV-1a state, byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint is InducedFingerprint over the whole net.
+func (n *Net) Fingerprint() uint64 { return n.InducedFingerprint(nil, nil) }
+
+// InducedFingerprint returns a cheap isomorphism-invariant fingerprint of
+// the subnet induced by the kept transitions and places (nil keeps every
+// node), equal to the fingerprint the materialised InducedSubnet would
+// produce. It hashes exactly the information of the canonical form's
+// round-0 colour partition (hash.go): per kept node its kind, restricted
+// marking and sorted kept in/out arc-weight multisets, folded as a sorted
+// multiset of per-node hashes together with the kept node counts.
+//
+// Isomorphic nets therefore always receive equal fingerprints — a
+// fingerprint can never split a CanonicalHash equivalence class — while
+// unequal fingerprints prove non-isomorphism up to the (negligible) FNV
+// collision probability, which can only merge buckets, never split them.
+// internal/core's reduction dedup uses this to bucket candidates before
+// escalating to the full Weisfeiler–Lehman refinement.
+//
+// Cost is O(arcs log maxdegree) with no allocation beyond two reusable
+// slices; compare O(rounds × arcs × log) for CanonicalForm.
+func (n *Net) InducedFingerprint(keepT, keepP NodeSet) uint64 {
+	nP, nT := n.NumPlaces(), n.NumTransitions()
+	nodes := make([]uint64, 0, nP+nT)
+	var weights []int
+	keptP, keptT := 0, 0
+	init := n.initialMark
+	for p := 0; p < nP; p++ {
+		if !keeps(keepP, p) {
+			continue
+		}
+		keptP++
+		h := fnvMix(fnvOffset64, 'P')
+		h = fnvMix(h, uint64(markAt(init, p)))
+		weights = weights[:0]
+		for _, a := range n.placeIn[p] {
+			if keeps(keepT, int(a.Transition)) {
+				weights = append(weights, a.Weight)
+			}
+		}
+		h = mixWeights(h, weights)
+		weights = weights[:0]
+		for _, a := range n.placeOut[p] {
+			if keeps(keepT, int(a.Transition)) {
+				weights = append(weights, a.Weight)
+			}
+		}
+		h = mixWeights(h, weights)
+		nodes = append(nodes, h)
+	}
+	for t := 0; t < nT; t++ {
+		if !keeps(keepT, t) {
+			continue
+		}
+		keptT++
+		h := fnvMix(fnvOffset64, 'T')
+		weights = weights[:0]
+		for _, a := range n.pre[t] {
+			if keeps(keepP, int(a.Place)) {
+				weights = append(weights, a.Weight)
+			}
+		}
+		h = mixWeights(h, weights)
+		weights = weights[:0]
+		for _, a := range n.post[t] {
+			if keeps(keepP, int(a.Place)) {
+				weights = append(weights, a.Weight)
+			}
+		}
+		h = mixWeights(h, weights)
+		nodes = append(nodes, h)
+	}
+	// The multiset of node hashes is order-independent after sorting, so the
+	// fold depends only on the induced structure, not on declaration order.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	fp := fnvMix(fnvOffset64, uint64(keptP))
+	fp = fnvMix(fp, uint64(keptT))
+	for _, h := range nodes {
+		fp = fnvMix(fp, h)
+	}
+	return fp
+}
+
+// keeps reports membership with nil meaning "keep everything".
+func keeps(s NodeSet, i int) bool { return s == nil || s.Has(i) }
+
+// mixWeights folds a weight multiset (length plus sorted elements) into h.
+func mixWeights(h uint64, ws []int) uint64 {
+	sort.Ints(ws)
+	h = fnvMix(h, uint64(len(ws)))
+	for _, w := range ws {
+		h = fnvMix(h, uint64(w))
+	}
+	return h
+}

@@ -1,0 +1,101 @@
+package petri
+
+import "testing"
+
+func TestNodeSet(t *testing.T) {
+	s := NewNodeSet(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if s.Has(i) {
+			t.Fatalf("empty set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	if s.Has(5000) {
+		t.Fatal("out-of-range Has must be false, not panic")
+	}
+	if NewNodeSet(0) == nil {
+		// Zero-size sets are valid (empty nets); Has on them is false.
+		t.Log("zero-size NodeSet is nil-backed")
+	}
+}
+
+// fingerprintNet is a small weighted net with a choice, used by the
+// fingerprint tests below.
+func fingerprintNet(names []string) *Net {
+	b := NewBuilder("fp")
+	src := b.Transition("src")
+	p := b.MarkedPlace("p", 2)
+	b.WeightedArcTP(src, p, 2)
+	var alts []Transition
+	for _, nm := range names {
+		alts = append(alts, b.Transition(nm))
+		b.Arc(p, alts[len(alts)-1])
+	}
+	q := b.Place("q")
+	b.WeightedArcTP(alts[0], q, 3)
+	sink := b.Transition("sink")
+	b.WeightedArc(q, sink, 3)
+	return b.Build()
+}
+
+func TestInducedFingerprintMatchesMaterialisedSubnet(t *testing.T) {
+	n := fingerprintNet([]string{"a", "b"})
+	// Sweep every subset of a few nodes deterministically: the bitset
+	// fingerprint must equal the fingerprint of the Builder-materialised
+	// induced subnet, for every kept-node combination.
+	nT, nP := n.NumTransitions(), n.NumPlaces()
+	for mask := 0; mask < 1<<(nT+nP); mask++ {
+		keepT := NewNodeSet(nT)
+		keepP := NewNodeSet(nP)
+		var listT []Transition
+		var listP []Place
+		for t := 0; t < nT; t++ {
+			if mask&(1<<t) != 0 {
+				keepT.Add(t)
+				listT = append(listT, Transition(t))
+			}
+		}
+		for p := 0; p < nP; p++ {
+			if mask&(1<<(nT+p)) != 0 {
+				keepP.Add(p)
+				listP = append(listP, Place(p))
+			}
+		}
+		sub := n.InducedSubnet("sub", listT, listP)
+		if got, want := n.InducedFingerprint(keepT, keepP), sub.Net.Fingerprint(); got != want {
+			t.Fatalf("mask %b: induced fingerprint %x != materialised subnet fingerprint %x", mask, got, want)
+		}
+	}
+	// nil masks mean "keep everything".
+	if n.InducedFingerprint(nil, nil) != n.Fingerprint() {
+		t.Fatal("nil masks must fingerprint the whole net")
+	}
+}
+
+func TestFingerprintIsomorphismInvariant(t *testing.T) {
+	// Renaming nodes and permuting declaration order must not change the
+	// fingerprint (it hashes an order-independent multiset of structural
+	// node signatures).
+	a := fingerprintNet([]string{"a", "b"})
+	b := fingerprintNet([]string{"zz", "yy"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("renamed net fingerprints differently")
+	}
+	// The canonical twin is an isomorphic relabelling by construction.
+	if tw := a.CanonicalNet(); tw.Fingerprint() != a.Fingerprint() {
+		t.Fatal("canonical twin fingerprints differently")
+	}
+	// A genuine structural change must (for this net) move the fingerprint:
+	// not guaranteed in general — FNV buckets may collide — but a fixed
+	// regression net keeps the cheap-reject property honest.
+	c := fingerprintNet([]string{"a", "b", "c"})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("extra choice alternative left the fingerprint unchanged")
+	}
+}

@@ -1,6 +1,9 @@
 package petri
 
-import "sort"
+import (
+	"sort"
+	"strconv"
+)
 
 // Subnet is a net induced by a subset of a parent net's nodes, together
 // with the index maps back to the parent. The QSS reduction algorithm
@@ -21,6 +24,13 @@ type Subnet struct {
 // places: all arcs of n between kept nodes are preserved with their
 // weights, and the initial marking is restricted to kept places. Node order
 // follows the parent's order regardless of the order of the arguments.
+//
+// The Net is assembled directly rather than through a Builder: the parent
+// is already a validated Net (unique non-empty names, deduplicated sorted
+// arcs), so none of the Builder's checks or map-based arc accumulation can
+// observe anything, and the solver materialises hundreds of these per
+// sweep. Filtering the parent's place-sorted arc lists preserves their
+// order because kept nodes keep their relative order.
 func (n *Net) InducedSubnet(name string, keepT []Transition, keepP []Place) *Subnet {
 	tKeep := make([]bool, n.NumTransitions())
 	for _, t := range keepT {
@@ -31,7 +41,6 @@ func (n *Net) InducedSubnet(name string, keepT []Transition, keepP []Place) *Sub
 		pKeep[p] = true
 	}
 
-	b := NewBuilder(name)
 	s := &Subnet{
 		placeTo: make([]int, n.NumPlaces()),
 		transTo: make([]int, n.NumTransitions()),
@@ -42,40 +51,54 @@ func (n *Net) InducedSubnet(name string, keepT []Transition, keepP []Place) *Sub
 	for i := range s.transTo {
 		s.transTo[i] = -1
 	}
-	init := n.InitialMarking()
+	sub := &Net{name: name}
 	for p := Place(0); int(p) < n.NumPlaces(); p++ {
 		if !pKeep[p] {
 			continue
 		}
-		sp := b.MarkedPlace(n.PlaceName(p), init[p])
-		s.placeTo[p] = int(sp)
+		s.placeTo[p] = len(sub.placeNames)
 		s.ParentPlace = append(s.ParentPlace, p)
+		sub.placeNames = append(sub.placeNames, n.placeNames[p])
 	}
 	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
 		if !tKeep[t] {
 			continue
 		}
-		st := b.Transition(n.TransitionName(t))
-		s.transTo[t] = int(st)
+		s.transTo[t] = len(sub.transNames)
 		s.ParentTransition = append(s.ParentTransition, t)
+		sub.transNames = append(sub.transNames, n.transNames[t])
 	}
-	for t := Transition(0); int(t) < n.NumTransitions(); t++ {
-		if !tKeep[t] {
-			continue
-		}
-		st := Transition(s.transTo[t])
-		for _, a := range n.Pre(t) {
+	sub.placeIndex = make(map[string]Place, len(sub.placeNames))
+	for i, nm := range sub.placeNames {
+		sub.placeIndex[nm] = Place(i)
+	}
+	sub.transIndex = make(map[string]Transition, len(sub.transNames))
+	for i, nm := range sub.transNames {
+		sub.transIndex[nm] = Transition(i)
+	}
+	sub.pre = make([][]ArcRef, len(sub.transNames))
+	sub.post = make([][]ArcRef, len(sub.transNames))
+	sub.placeIn = make([][]TArc, len(sub.placeNames))
+	sub.placeOut = make([][]TArc, len(sub.placeNames))
+	for st, pt := range s.ParentTransition {
+		for _, a := range n.pre[pt] {
 			if sp := s.placeTo[a.Place]; sp >= 0 {
-				b.WeightedArc(Place(sp), st, a.Weight)
+				sub.pre[st] = append(sub.pre[st], ArcRef{Place(sp), a.Weight})
+				sub.placeOut[sp] = append(sub.placeOut[sp], TArc{Transition(st), a.Weight})
 			}
 		}
-		for _, a := range n.Post(t) {
+		for _, a := range n.post[pt] {
 			if sp := s.placeTo[a.Place]; sp >= 0 {
-				b.WeightedArcTP(st, Place(sp), a.Weight)
+				sub.post[st] = append(sub.post[st], ArcRef{Place(sp), a.Weight})
+				sub.placeIn[sp] = append(sub.placeIn[sp], TArc{Transition(st), a.Weight})
 			}
 		}
 	}
-	s.Net = b.Build()
+	sub.initialMark = NewMarking(len(sub.placeNames))
+	for sp, pp := range s.ParentPlace {
+		sub.initialMark[sp] = n.initialMark[pp]
+	}
+	s.Net = sub
 	return s
 }
 
@@ -120,22 +143,8 @@ func (s *Subnet) TransitionSetKey() string {
 	sort.Ints(ids)
 	key := make([]byte, 0, len(ids)*3)
 	for _, id := range ids {
-		key = appendInt(key, id)
+		key = strconv.AppendInt(key, int64(id), 10)
 		key = append(key, ',')
 	}
 	return string(key)
-}
-
-func appendInt(b []byte, v int) []byte {
-	if v == 0 {
-		return append(b, '0')
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return append(b, buf[i:]...)
 }

@@ -66,7 +66,11 @@ type QueuedEvent struct {
 // policy. It records how many events were lost and how.
 type EventQueue struct {
 	cfg QueueConfig
-	buf []QueuedEvent
+	// buf[head:] holds the queued events. Popping advances head instead
+	// of reslicing the front away, so the backing array is reused across
+	// the simulation instead of growing once per admitted event.
+	buf  []QueuedEvent
+	head int
 	// Dropped counts events discarded by DropNewest or displaced by
 	// DropOldest; Rejected counts events refused under Reject.
 	Dropped, Rejected int64
@@ -79,7 +83,7 @@ func NewEventQueue(cfg QueueConfig) *EventQueue { return &EventQueue{cfg: cfg} }
 func (q *EventQueue) Config() QueueConfig { return q.cfg }
 
 // Len is the number of queued events.
-func (q *EventQueue) Len() int { return len(q.buf) }
+func (q *EventQueue) Len() int { return len(q.buf) - q.head }
 
 // Lost is the total number of events not served (dropped + rejected).
 func (q *EventQueue) Lost() int64 { return q.Dropped + q.Rejected }
@@ -89,7 +93,7 @@ func (q *EventQueue) Lost() int64 { return q.Dropped + q.Rejected }
 // policy (under DropOldest the new event is always admitted, at the cost
 // of the head).
 func (q *EventQueue) Offer(ev Event, arrival int64) bool {
-	if q.cfg.Capacity > 0 && len(q.buf) >= q.cfg.Capacity {
+	if q.cfg.Capacity > 0 && q.Len() >= q.cfg.Capacity {
 		switch q.cfg.Policy {
 		case DropNewest:
 			q.Dropped++
@@ -98,9 +102,17 @@ func (q *EventQueue) Offer(ev Event, arrival int64) bool {
 			q.Rejected++
 			return false
 		case DropOldest:
-			q.buf = q.buf[1:]
+			q.head++
 			q.Dropped++
 		}
+	}
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	} else if q.head > 32 && 2*q.head >= len(q.buf) {
+		// Mostly-consumed prefix: compact in place so append reuses the
+		// array instead of growing past the dead front forever.
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf, q.head = q.buf[:n], 0
 	}
 	q.buf = append(q.buf, QueuedEvent{Ev: ev, Arrival: arrival})
 	return true
@@ -108,11 +120,11 @@ func (q *EventQueue) Offer(ev Event, arrival int64) bool {
 
 // Pop removes and returns the oldest queued event.
 func (q *EventQueue) Pop() (QueuedEvent, bool) {
-	if len(q.buf) == 0 {
+	if q.Len() == 0 {
 		return QueuedEvent{}, false
 	}
-	head := q.buf[0]
-	q.buf = q.buf[1:]
+	head := q.buf[q.head]
+	q.head++
 	return head, true
 }
 
